@@ -1,0 +1,17 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper via the
+:mod:`repro.experiments` harness, times it with pytest-benchmark, and prints
+the rendered table so the numbers can be compared against the paper (they
+are also recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.experiments import run_normalized_comparison
+
+
+@pytest.fixture(scope="session")
+def comparison_points():
+    """The Figs. 6-8 sweep, shared by several benchmarks."""
+    return run_normalized_comparison()

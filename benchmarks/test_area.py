@@ -1,0 +1,11 @@
+"""Benchmark regenerating the AP area figures (0.64 / 0.81 / 1.28 mm^2)."""
+
+from repro.experiments import render_area, run_area
+
+
+def test_ap_area(benchmark):
+    entries = benchmark(run_area)
+    print()
+    print(render_area(entries))
+    for entry in entries:
+        assert abs(entry.measured_area_mm2 - entry.paper_area_mm2) / entry.paper_area_mm2 < 0.10

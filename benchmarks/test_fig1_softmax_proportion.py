@@ -1,0 +1,15 @@
+"""Benchmark regenerating Fig. 1 — softmax runtime proportion (Llama2-7b on
+A100) versus sequence length."""
+
+from repro.experiments import render_fig1, run_fig1_softmax_proportion
+
+
+def test_fig1_softmax_proportion(benchmark):
+    results = benchmark(run_fig1_softmax_proportion)
+    print()
+    print(render_fig1(results))
+    fractions = {int(r["sequence_length"]): r["softmax_fraction"] for r in results}
+    # Paper: ~3% at 1024 and below, up to 38% at 16384.
+    assert fractions[1024] < 0.10
+    assert fractions[16384] > 0.20
+    assert fractions[16384] > fractions[1024]

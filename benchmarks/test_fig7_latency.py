@@ -1,0 +1,27 @@
+"""Benchmark regenerating Fig. 7 — normalized latency (GPU / AP)."""
+
+from repro.experiments import render_comparison
+from repro.mapping.deployment import ApDeployment
+from repro.llm.config import LLAMA2_7B
+
+
+def test_fig7_normalized_latency(benchmark, comparison_points):
+    benchmark(lambda: ApDeployment(LLAMA2_7B).pass_cost(4096))
+    print()
+    print(render_comparison(comparison_points, "latency"))
+    a100_7b = {
+        (p.sequence_length, p.batch_size): p.normalized_latency
+        for p in comparison_points
+        if p.gpu == "A100" and p.model == "Llama2-7b"
+    }
+    # Paper: below ~1024 tokens the AP is slower than the GPUs; between 1024
+    # and 4096 the AP wins by up to ~6.7x (A100) / ~12.6x (RTX3090).
+    assert a100_7b[(128, 1)] < 1.0
+    assert a100_7b[(4096, 32)] > 2.0
+    rtx_7b_max = max(
+        p.normalized_latency
+        for p in comparison_points
+        if p.gpu == "RTX3090" and p.model == "Llama2-7b"
+    )
+    a100_7b_max = max(a100_7b.values())
+    assert rtx_7b_max > a100_7b_max

@@ -1,0 +1,10 @@
+"""Benchmark regenerating Table I — mixed-precision bit widths."""
+
+from repro.experiments import render_table1, run_table1
+
+
+def test_table1_precisions(benchmark):
+    entries = benchmark(run_table1)
+    print()
+    print(render_table1(entries))
+    assert len(entries) == 9

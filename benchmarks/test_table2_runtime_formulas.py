@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table II — 2D AP runtime of elementary operations,
+cross-checked against the functional bit-serial simulator."""
+
+from repro.experiments import render_table2, run_table2
+
+
+def test_table2_runtime_formulas(benchmark):
+    rows = benchmark(run_table2)
+    print()
+    print(render_table2(rows))
+    assert any(r.simulated_cycles is not None for r in rows)

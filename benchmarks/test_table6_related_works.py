@@ -1,0 +1,11 @@
+"""Benchmark regenerating Table VI — comparison with ConSmax / Softermax."""
+
+from repro.experiments import render_table6, run_table6
+
+
+def test_table6_related_works(benchmark):
+    entries = benchmark(run_table6)
+    print()
+    print(render_table6(entries))
+    softmap = entries[-1]
+    assert softmap.energy_per_op_pj < min(e.energy_per_op_pj for e in entries[:-1])

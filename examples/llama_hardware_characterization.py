@@ -1,0 +1,66 @@
+"""Hardware characterization of SoftmAP for the Llama2 family.
+
+Reproduces the headline hardware numbers of the paper for a chosen model:
+per-head AP area, one-pass latency/energy per sequence length, and the
+normalized energy / latency / EDP against the A100 and RTX3090 baselines
+(the Figs. 6-8 quantities), plus the Fig. 1 softmax runtime share and the
+Amdahl end-to-end impact.
+
+Usage::
+
+    python examples/llama_hardware_characterization.py [7b|13b|70b]
+"""
+
+import sys
+
+from repro.experiments import (
+    render_comparison,
+    run_fig1_softmax_proportion,
+    run_normalized_comparison,
+    render_fig1,
+)
+from repro.gpu import A100, GpuTransformerModel
+from repro.llm import LLAMA2_MODELS
+from repro.mapping import ApDeployment
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "7b"
+    if name not in LLAMA2_MODELS:
+        raise SystemExit(f"unknown model {name!r}; choose from {sorted(LLAMA2_MODELS)}")
+    model = LLAMA2_MODELS[name]
+
+    deployment = ApDeployment(model)
+    print(f"=== {model.name}: AP deployment ===")
+    print(f"APs (one per head): {deployment.num_aps}")
+    print(f"rows per AP       : {deployment.rows_per_ap}")
+    print(f"total area        : {deployment.total_area_mm2():.3f} mm^2")
+    print()
+
+    table = TextTable(
+        ["sequence length", "pass cycles", "pass latency (us)", "pass energy (nJ)"],
+        title="One softmax pass on one per-head AP",
+    )
+    for seq in (128, 512, 1024, 2048, 4096):
+        cost = deployment.pass_cost(seq)
+        table.add_row([seq, int(cost.cycles), cost.latency_s * 1e6, cost.energy_j * 1e9])
+    print(table.render())
+    print()
+
+    points = run_normalized_comparison(models={name: model})
+    for metric in ("energy", "latency", "edp"):
+        print(render_comparison(points, metric))
+        print()
+
+    print(render_fig1(run_fig1_softmax_proportion(model=model)))
+    breakdown = GpuTransformerModel(A100, model).prefill(1, 4096)
+    reduction = breakdown.end_to_end_reduction(6.7)
+    print()
+    print(f"Amdahl: a 6.7x softmax speedup reduces the {model.name} prefill "
+          f"time at 4096 tokens by {100 * reduction:.2f}% "
+          f"(paper reports 10.71% for Llama2-70b).")
+
+
+if __name__ == "__main__":
+    main()

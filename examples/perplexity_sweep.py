@@ -1,0 +1,53 @@
+"""Precision-sensitivity study on the substitute language model.
+
+Trains the tiny Llama-style numpy model on the synthetic corpus, then
+evaluates perplexity with the floating-point softmax and with the
+integer-only softmax across the (M, N) grid of Tables III/IV.  Also prints
+the softmax-fidelity sweep at the paper's 2048-token row length, which
+exposes the sum-headroom (N) effect directly.
+
+Usage::
+
+    python examples/perplexity_sweep.py [training_steps]
+"""
+
+import sys
+
+from repro.experiments import (
+    run_perplexity_sweep,
+    run_softmax_fidelity_sweep,
+    render_perplexity_table,
+)
+from repro.experiments.table3_4_perplexity import (
+    render_fidelity_table,
+    train_reference_model,
+)
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+    print(f"Training the substitute model for {steps} steps ...")
+    model, corpus = train_reference_model(training_steps=steps)
+    print(f"parameters: {model.parameter_count()}  "
+          f"vocabulary: {corpus.tokenizer.vocab_size}")
+    print()
+
+    points = run_perplexity_sweep(
+        model=model,
+        corpus=corpus,
+        m_values=(6, 8),
+        n_values=(8, 12, 16, 20),
+        vcorr_deltas=(0,),
+        include_m4=True,
+    )
+    print(render_perplexity_table(points))
+    print()
+
+    print("Softmax fidelity at the paper's 2048-token attention rows:")
+    fidelity = run_softmax_fidelity_sweep(sequence_length=2048, rows=32)
+    print(render_fidelity_table(fidelity))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: integer-only softmax vs floating-point softmax.
+
+Runs Algorithm 1 of the SoftmAP paper on a random attention-score vector at
+the paper's best precision (M=6, vcorr=M, N=16), compares it with the exact
+softmax, and prints the offline constants the hardware would be loaded with.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.quant import BEST_PRECISION, PrecisionConfig
+from repro.softmax import IntegerSoftmax, kl_divergence, max_abs_error, softmax
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    scores = rng.normal(0.0, 2.0, 32)
+
+    integer = IntegerSoftmax(BEST_PRECISION)
+    result = integer.forward(scores)
+    reference = softmax(scores)
+
+    constants = integer.constants
+    print("Offline constants (computed once per scaling factor):")
+    print(f"  scale S       = {constants.scale:.5f}")
+    print(f"  vln2          = {constants.vln2}")
+    print(f"  mu (Barrett)  = {constants.mu}")
+    print(f"  vb, vc        = {constants.vb}, {constants.vc}")
+    print()
+
+    print("First 8 probabilities:")
+    print("  integer :", np.array2string(result.probabilities[:8], precision=4))
+    print("  fp      :", np.array2string(reference[:8], precision=4))
+    print()
+    print(f"max abs error  : {max_abs_error(result.probabilities, reference):.5f}")
+    print(f"KL(fp || int)  : {kl_divergence(reference, result.probabilities):.6f}")
+    print()
+
+    print("Effect of the input precision M (same vector):")
+    for m in (4, 6, 8):
+        probabilities = IntegerSoftmax(PrecisionConfig(m, 0, 16))(scores)
+        error = max_abs_error(probabilities, reference)
+        print(f"  M = {m}: max abs error = {error:.5f}")
+
+
+if __name__ == "__main__":
+    main()

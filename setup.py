@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so that
+`pip install -e .` can fall back to the legacy setuptools develop path on
+offline machines where PEP 660 editable builds (which require `wheel`) are
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

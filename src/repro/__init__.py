@@ -1,0 +1,31 @@
+"""SoftmAP reproduction library.
+
+A from-scratch Python reproduction of *SoftmAP: Software-Hardware Co-Design
+for Integer-Only Softmax on Associative Processors* (DATE 2025), including:
+
+* the integer-only softmax approximation (:mod:`repro.softmax`,
+  :mod:`repro.quant`);
+* a functional and analytical Associative Processor simulator
+  (:mod:`repro.ap`);
+* the SoftmAP dataflow mapping and hardware characterization
+  (:mod:`repro.mapping`);
+* analytical GPU baselines for A100 / RTX3090 (:mod:`repro.gpu`);
+* a numpy LLM substrate used for the perplexity sensitivity study
+  (:mod:`repro.nn`, :mod:`repro.llm`);
+* an experiment harness regenerating every table and figure of the paper
+  (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+from repro.quant import PrecisionConfig, BEST_PRECISION
+from repro.softmax import IntegerSoftmax, integer_softmax, softmax
+
+__all__ = [
+    "__version__",
+    "PrecisionConfig",
+    "BEST_PRECISION",
+    "IntegerSoftmax",
+    "integer_softmax",
+    "softmax",
+]

@@ -1,0 +1,212 @@
+"""Content Addressable Memory (CAM) array with key/mask/tag registers.
+
+The CAM is the building block of the Associative Processor (Fig. 3): a grid
+of SRAM cells (``rows x columns`` bits) searched in parallel.  Two primitive
+cycles exist:
+
+* **compare** — the key register holds the searched bit per column, the mask
+  register selects which columns take part; every row whose masked bits all
+  equal the key is flagged in the tag register.
+* **write** — the key/mask registers select bits to write, and the write is
+  applied only to the rows flagged in the tag register.
+
+Any arithmetic or logic operation is realised as a sequence of such
+compare/write pairs dictated by the operation's LUT.  :class:`CamArray`
+implements the two primitives on a boolean numpy matrix and keeps
+:class:`CamStats` counters (compares, writes, tagged-row writes) that the
+cost model converts to latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["CamArray", "CamStats"]
+
+
+@dataclass
+class CamStats:
+    """Cycle-level activity counters of a CAM array.
+
+    Attributes
+    ----------
+    compare_cycles:
+        Number of compare cycles issued (each searches all rows in parallel).
+    write_cycles:
+        Number of write cycles issued.
+    compared_bits:
+        Total number of (row, column) cells that participated in compare
+        cycles — used for energy estimation.
+    written_bits:
+        Total number of cells actually written.
+    row_writes:
+        Total number of tagged rows across all write cycles.
+    """
+
+    compare_cycles: int = 0
+    write_cycles: int = 0
+    compared_bits: int = 0
+    written_bits: int = 0
+    row_writes: int = 0
+
+    def merge(self, other: "CamStats") -> "CamStats":
+        """Return the element-wise sum of two counters."""
+        return CamStats(
+            compare_cycles=self.compare_cycles + other.compare_cycles,
+            write_cycles=self.write_cycles + other.write_cycles,
+            compared_bits=self.compared_bits + other.compared_bits,
+            written_bits=self.written_bits + other.written_bits,
+            row_writes=self.row_writes + other.row_writes,
+        )
+
+    @property
+    def total_cycles(self) -> int:
+        """Total compare + write cycles."""
+        return self.compare_cycles + self.write_cycles
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.compare_cycles = 0
+        self.write_cycles = 0
+        self.compared_bits = 0
+        self.written_bits = 0
+        self.row_writes = 0
+
+
+class CamArray:
+    """A bit-level CAM with compare/write primitives.
+
+    Parameters
+    ----------
+    rows:
+        Number of CAM rows (words stored side by side share a row).
+    columns:
+        Number of bit columns.
+    """
+
+    def __init__(self, rows: int, columns: int) -> None:
+        self.rows = check_positive_int(rows, "rows")
+        self.columns = check_positive_int(columns, "columns")
+        self._cells = np.zeros((self.rows, self.columns), dtype=bool)
+        self.tag = np.zeros(self.rows, dtype=bool)
+        self.stats = CamStats()
+
+    # ------------------------------------------------------------------ #
+    # Raw cell access (used to load/unload operands, not counted as AP    #
+    # cycles — the cost of writing operands is charged explicitly by the  #
+    # cost model's "2M" write term).                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def cells(self) -> np.ndarray:
+        """The raw cell matrix (bool, ``rows x columns``).  Mutating it
+        directly bypasses cycle accounting; use only for operand loading in
+        tests or through :class:`~repro.ap.processor.AssociativeProcessor`
+        helpers that charge the cost explicitly."""
+        return self._cells
+
+    def load_bits(self, column_indices: Sequence[int], bits: np.ndarray) -> None:
+        """Load a bit matrix (``rows x len(column_indices)``) directly."""
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.rows, len(column_indices)):
+            raise ValueError(
+                f"expected bits of shape {(self.rows, len(column_indices))}, "
+                f"got {bits.shape}"
+            )
+        self._cells[:, list(column_indices)] = bits
+
+    def read_bits(self, column_indices: Sequence[int]) -> np.ndarray:
+        """Read a bit matrix for the given columns."""
+        return self._cells[:, list(column_indices)].copy()
+
+    # ------------------------------------------------------------------ #
+    # AP primitives                                                        #
+    # ------------------------------------------------------------------ #
+    def compare(
+        self,
+        key: Dict[int, int],
+        row_mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Perform one compare cycle.
+
+        Parameters
+        ----------
+        key:
+            Mapping ``column index -> expected bit`` (the key register with
+            the mask register implicitly selecting exactly those columns).
+        row_mask:
+            Optional boolean row selector; rows outside the mask can never
+            match (used by the 2D AP to restrict operations to row pairs).
+
+        Returns
+        -------
+        The tag vector (boolean per row); it is also latched in
+        :attr:`tag`.
+        """
+        if not key:
+            raise ValueError("compare needs at least one masked column")
+        match = np.ones(self.rows, dtype=bool)
+        for column, bit in key.items():
+            self._check_column(column)
+            match &= self._cells[:, column] == bool(bit)
+        if row_mask is not None:
+            match &= np.asarray(row_mask, dtype=bool)
+        self.tag = match
+        self.stats.compare_cycles += 1
+        self.stats.compared_bits += len(key) * self.rows
+        return match.copy()
+
+    def write(
+        self,
+        values: Dict[int, int],
+        tag: Optional[np.ndarray] = None,
+    ) -> None:
+        """Perform one write cycle on the tagged rows.
+
+        Parameters
+        ----------
+        values:
+            Mapping ``column index -> bit`` written to every tagged row.
+        tag:
+            Row selector; defaults to the tag latched by the last compare.
+        """
+        if not values:
+            raise ValueError("write needs at least one masked column")
+        if tag is None:
+            tag = self.tag
+        tag = np.asarray(tag, dtype=bool)
+        if tag.shape != (self.rows,):
+            raise ValueError(f"tag must have shape ({self.rows},), got {tag.shape}")
+        for column, bit in values.items():
+            self._check_column(column)
+            self._cells[tag, column] = bool(bit)
+        self.stats.write_cycles += 1
+        tagged = int(np.count_nonzero(tag))
+        self.stats.written_bits += len(values) * tagged
+        self.stats.row_writes += tagged
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Helpers                                                              #
+    # ------------------------------------------------------------------ #
+    def clear_columns(self, column_indices: Iterable[int]) -> None:
+        """Zero the given columns with a single counted write cycle (all
+        rows tagged)."""
+        columns = list(column_indices)
+        for column in columns:
+            self._check_column(column)
+        self.write({column: 0 for column in columns}, tag=np.ones(self.rows, dtype=bool))
+
+    def _check_column(self, column: int) -> None:
+        if not 0 <= column < self.columns:
+            raise IndexError(
+                f"column {column} out of range for CAM with {self.columns} columns"
+            )
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the cell matrix (for tests and debugging)."""
+        return self._cells.copy()

@@ -1,0 +1,295 @@
+"""Analytical AP cost model (Table II + 16 nm energy/area).
+
+The paper characterises the AP with a "Python-based AP simulator that models
+the data flow execution ... and relies on the formulations in Table II to
+model the energy and latency of performing elementary operations".  This
+module is that simulator's costing half:
+
+* the **cycle formulas of Table II** for addition, multiplication, reduction
+  and matrix-matrix multiplication, plus documented formulas (derived from
+  the LUT structure of the functional simulator) for the remaining
+  operations the dataflow needs (subtraction, copy, constant write, variable
+  shift, restoring division);
+* an **energy model**: every compare/write cycle activates a small number of
+  bit columns in every participating row, each costing the per-bit energies
+  of :class:`~repro.ap.tech.TechnologyParameters`;
+* an **area model**: CAM cells times cell area.
+
+All methods return :class:`OperationCost` records that can be added up by
+the dataflow mapping in :mod:`repro.mapping`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.ap.tech import TECH_16NM, TechnologyParameters
+from repro.utils.validation import check_positive_int, check_non_negative_int
+
+__all__ = ["OperationCost", "ApCostModel"]
+
+
+@dataclass(frozen=True)
+class OperationCost:
+    """Latency/energy cost of one (possibly composite) AP operation."""
+
+    name: str
+    cycles: float
+    latency_s: float
+    energy_j: float
+
+    def __add__(self, other: "OperationCost") -> "OperationCost":
+        return OperationCost(
+            name=f"{self.name}+{other.name}",
+            cycles=self.cycles + other.cycles,
+            latency_s=self.latency_s + other.latency_s,
+            energy_j=self.energy_j + other.energy_j,
+        )
+
+    def scaled(self, factor: float, name: str = "") -> "OperationCost":
+        """Cost of repeating the operation ``factor`` times."""
+        if factor < 0:
+            raise ValueError("factor must be >= 0")
+        return OperationCost(
+            name=name or f"{factor}x{self.name}",
+            cycles=self.cycles * factor,
+            latency_s=self.latency_s * factor,
+            energy_j=self.energy_j * factor,
+        )
+
+    @staticmethod
+    def zero(name: str = "zero") -> "OperationCost":
+        """A zero-cost placeholder (e.g. constant shifts, free re-labelling)."""
+        return OperationCost(name=name, cycles=0.0, latency_s=0.0, energy_j=0.0)
+
+
+class ApCostModel:
+    """Latency/energy/area model of a 2D AP of ``rows`` rows.
+
+    Parameters
+    ----------
+    rows:
+        Number of CAM rows of the AP (``SequenceLength / 2`` in the SoftmAP
+        deployment).
+    columns:
+        Number of bit columns (determines area; defaults to the SoftmAP
+        column budget of ``2M + 12`` result bits plus two operand fields and
+        service columns, i.e. 64 columns for ``M = 6``).
+    tech:
+        Technology parameters (16 nm by default).
+    active_bits_per_cycle:
+        Average number of bit columns touched by one compare/write cycle in
+        every participating row (the LUT passes mask 2-3 columns).
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int = 64,
+        tech: TechnologyParameters = TECH_16NM,
+        active_bits_per_cycle: float = 2.0,
+    ) -> None:
+        self.rows = check_positive_int(rows, "rows")
+        self.columns = check_positive_int(columns, "columns")
+        self.tech = tech
+        if active_bits_per_cycle <= 0:
+            raise ValueError("active_bits_per_cycle must be > 0")
+        self.active_bits_per_cycle = float(active_bits_per_cycle)
+
+    # ------------------------------------------------------------------ #
+    # Generic cycle -> cost conversion                                     #
+    # ------------------------------------------------------------------ #
+    def cost_from_cycles(
+        self, name: str, cycles: float, active_rows: int = 0
+    ) -> OperationCost:
+        """Convert a cycle count into latency and energy.
+
+        ``active_rows`` is the number of rows participating in the operation
+        (all rows by default); energy scales with it while latency does not
+        (word-parallel operation).
+        """
+        if cycles < 0:
+            raise ValueError("cycles must be >= 0")
+        rows = self.rows if active_rows <= 0 else min(active_rows, self.rows)
+        latency = cycles * self.tech.cycle_time_s
+        cell_energy = (
+            cycles
+            * rows
+            * self.active_bits_per_cycle
+            * 0.5
+            * (self.tech.compare_energy_per_bit_j + self.tech.write_energy_per_bit_j)
+        )
+        row_energy = cycles * rows * self.tech.row_access_energy_j
+        dynamic = cell_energy + row_energy
+        static = self.tech.idle_row_leakage_w * self.rows * latency
+        return OperationCost(
+            name=name, cycles=float(cycles), latency_s=latency, energy_j=dynamic + static
+        )
+
+    # ------------------------------------------------------------------ #
+    # Table II formulas                                                    #
+    # ------------------------------------------------------------------ #
+    def addition_cycles(self, precision: int) -> int:
+        """Table II: ``2M + 8M + M + 1``."""
+        m = check_positive_int(precision, "precision")
+        return 2 * m + 8 * m + m + 1
+
+    def multiplication_cycles(self, precision: int) -> int:
+        """Table II: ``2M + 8M^2 + 2M``."""
+        m = check_positive_int(precision, "precision")
+        return 2 * m + 8 * m * m + 2 * m
+
+    def reduction_cycles(self, precision: int, words: int) -> int:
+        """Table II: ``2M + 8M + 8*log2(L/2) + 1`` for ``L`` words."""
+        m = check_positive_int(precision, "precision")
+        length = check_positive_int(words, "words")
+        levels = max(1, math.ceil(math.log2(max(length // 2, 1)))) if length > 1 else 1
+        return 2 * m + 8 * m + 8 * levels + 1
+
+    def matmul_cycles(self, precision: int, inner_dimension: int) -> int:
+        """Table II: ``2M + 8M^2 + 8*log2(j) + 2M + log2(j)``."""
+        m = check_positive_int(precision, "precision")
+        j = check_positive_int(inner_dimension, "inner_dimension")
+        log_j = max(1, math.ceil(math.log2(j))) if j > 1 else 1
+        return 2 * m + 8 * m * m + 8 * log_j + 2 * m + log_j
+
+    # ------------------------------------------------------------------ #
+    # Formulas for the remaining dataflow operations (documented; derived  #
+    # from the LUT pass structure of the functional simulator)             #
+    # ------------------------------------------------------------------ #
+    def subtraction_cycles(self, precision: int) -> int:
+        """Same LUT structure as addition: ``2M + 8M + M + 1``."""
+        return self.addition_cycles(precision)
+
+    def write_cycles(self, precision: int) -> int:
+        """Writing an ``M``-bit operand/constant: one cycle per column."""
+        return check_positive_int(precision, "precision")
+
+    def copy_cycles(self, precision: int) -> int:
+        """Clearing the destination plus one pass per bit: ``3M``."""
+        return 3 * check_positive_int(precision, "precision")
+
+    def variable_shift_cycles(self, width: int, shift_bits: int) -> int:
+        """Barrel shift: initial copy plus ``shift_bits`` conditional-copy
+        stages of 2 passes (4 cycles) per destination bit."""
+        width = check_positive_int(width, "width")
+        shift_bits = check_non_negative_int(shift_bits, "shift_bits")
+        return self.copy_cycles(width) + 4 * width * shift_bits
+
+    def division_cycles(
+        self, dividend_bits: int, divisor_bits: int, fraction_bits: int = 0
+    ) -> int:
+        """Restoring division producing ``dividend_bits + fraction_bits``
+        output bits; per output bit: remainder shift, bring-down, subtract,
+        flag latch, conditional restore and quotient write."""
+        dividend_bits = check_positive_int(dividend_bits, "dividend_bits")
+        divisor_bits = check_positive_int(divisor_bits, "divisor_bits")
+        fraction_bits = check_non_negative_int(fraction_bits, "fraction_bits")
+        remainder_bits = divisor_bits + 1
+        per_bit = (
+            2 * remainder_bits      # remainder <<= 1
+            + 2                     # bring down the next dividend bit
+            + self.subtraction_cycles(remainder_bits) - 2 * remainder_bits
+            + 2                     # latch the borrow flag
+            + self.addition_cycles(remainder_bits) - 2 * remainder_bits
+            + 2                     # write the quotient bit
+        )
+        return (dividend_bits + fraction_bits) * per_bit
+
+    # ------------------------------------------------------------------ #
+    # Convenience: costs (cycles -> latency/energy)                        #
+    # ------------------------------------------------------------------ #
+    def addition(self, precision: int, active_rows: int = 0) -> OperationCost:
+        """Cost of a word-parallel addition."""
+        return self.cost_from_cycles(
+            f"add[{precision}b]", self.addition_cycles(precision), active_rows
+        )
+
+    def subtraction(self, precision: int, active_rows: int = 0) -> OperationCost:
+        """Cost of a word-parallel subtraction."""
+        return self.cost_from_cycles(
+            f"sub[{precision}b]", self.subtraction_cycles(precision), active_rows
+        )
+
+    def multiplication(self, precision: int, active_rows: int = 0) -> OperationCost:
+        """Cost of a word-parallel multiplication."""
+        return self.cost_from_cycles(
+            f"mul[{precision}b]", self.multiplication_cycles(precision), active_rows
+        )
+
+    def reduction(self, precision: int, words: int, active_rows: int = 0) -> OperationCost:
+        """Cost of a full-column reduction of ``words`` words."""
+        return self.cost_from_cycles(
+            f"reduce[{precision}b,{words}w]",
+            self.reduction_cycles(precision, words),
+            active_rows,
+        )
+
+    def write(self, precision: int, active_rows: int = 0) -> OperationCost:
+        """Cost of writing an operand or offline constant."""
+        return self.cost_from_cycles(
+            f"write[{precision}b]", self.write_cycles(precision), active_rows
+        )
+
+    def copy(self, precision: int, active_rows: int = 0) -> OperationCost:
+        """Cost of a word-parallel copy."""
+        return self.cost_from_cycles(
+            f"copy[{precision}b]", self.copy_cycles(precision), active_rows
+        )
+
+    def variable_shift(
+        self, width: int, shift_bits: int, active_rows: int = 0
+    ) -> OperationCost:
+        """Cost of a per-row variable right shift."""
+        return self.cost_from_cycles(
+            f"shift[{width}b>>{shift_bits}b]",
+            self.variable_shift_cycles(width, shift_bits),
+            active_rows,
+        )
+
+    def division(
+        self,
+        dividend_bits: int,
+        divisor_bits: int,
+        fraction_bits: int = 0,
+        active_rows: int = 0,
+    ) -> OperationCost:
+        """Cost of a word-parallel restoring division."""
+        return self.cost_from_cycles(
+            f"div[{dividend_bits}b/{divisor_bits}b]",
+            self.division_cycles(dividend_bits, divisor_bits, fraction_bits),
+            active_rows,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Area and per-op energy                                               #
+    # ------------------------------------------------------------------ #
+    def area_mm2(self) -> float:
+        """Layout area of the AP (cells x per-cell area incl. peripherals)."""
+        return self.rows * self.columns * self.tech.cell_area_um2 * 1e-6
+
+    def energy_per_elementary_op_pj(
+        self, precision: int, include_row_access: bool = False
+    ) -> float:
+        """Energy of one elementary operation on one word, in pJ.
+
+        This is the quantity compared against ConSmax/Softermax in Table VI:
+        the per-word energy of the cheapest elementary arithmetic operation
+        (an ``M``-bit addition) at the chosen precision.  By default only the
+        cell-level switching energy of the word's own columns is counted
+        (the shared match-line/row-access energy is amortised over all words
+        packed in the row and over the array leakage budget); pass
+        ``include_row_access=True`` for the conservative variant measured by
+        the EXPERIMENTS.md comparison.
+        """
+        cycles = self.addition_cycles(precision)
+        dynamic = (
+            cycles
+            * self.active_bits_per_cycle
+            * 0.5
+            * (self.tech.compare_energy_per_bit_j + self.tech.write_energy_per_bit_j)
+        )
+        if include_row_access:
+            dynamic += cycles * self.tech.row_access_energy_j
+        return dynamic * 1e12

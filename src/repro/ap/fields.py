@@ -1,0 +1,116 @@
+"""Column fields of an Associative Processor.
+
+The SoftmAP mapping (Fig. 4) stores several named quantities side by side in
+each CAM row (columns ``A``, ``B`` and the ``2M+12``-bit result column
+``R``).  A :class:`Field` names a group of bit columns (LSB first) holding
+one word per row; the :class:`FieldAllocator` hands out disjoint column
+ranges inside a CAM of fixed width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Field", "FieldAllocator"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A named group of bit columns storing one word per CAM row.
+
+    Attributes
+    ----------
+    name:
+        Field name (``"A"``, ``"B"``, ``"R"``, ``"carry"`` ...).
+    columns:
+        Physical column indices, least-significant bit first.
+    signed:
+        Whether words are interpreted as two's complement.
+    """
+
+    name: str
+    columns: Tuple[int, ...]
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise ValueError(f"field {self.name!r} needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"field {self.name!r} has duplicate columns")
+
+    @property
+    def bits(self) -> int:
+        """Word width in bits."""
+        return len(self.columns)
+
+    def bit_column(self, position: int) -> int:
+        """Physical column of bit ``position`` (0 = LSB)."""
+        return self.columns[position]
+
+    def slice(self, start: int, stop: int, name: str = "") -> "Field":
+        """A sub-field covering bit positions ``[start, stop)``."""
+        if not 0 <= start < stop <= self.bits:
+            raise ValueError(
+                f"invalid slice [{start}, {stop}) for {self.bits}-bit field"
+            )
+        return Field(
+            name=name or f"{self.name}[{start}:{stop}]",
+            columns=self.columns[start:stop],
+            signed=self.signed,
+        )
+
+
+class FieldAllocator:
+    """Allocates disjoint column ranges of a fixed-width CAM to fields."""
+
+    def __init__(self, total_columns: int) -> None:
+        self.total_columns = check_positive_int(total_columns, "total_columns")
+        self._next_column = 0
+        self._fields: Dict[str, Field] = {}
+
+    @property
+    def fields(self) -> Dict[str, Field]:
+        """All allocated fields by name."""
+        return dict(self._fields)
+
+    @property
+    def used_columns(self) -> int:
+        """Number of columns already allocated."""
+        return self._next_column
+
+    @property
+    def free_columns(self) -> int:
+        """Number of columns still available."""
+        return self.total_columns - self._next_column
+
+    def allocate(self, name: str, bits: int, signed: bool = True) -> Field:
+        """Allocate a new ``bits``-wide field named ``name``."""
+        check_positive_int(bits, "bits")
+        if name in self._fields:
+            raise ValueError(f"field {name!r} already allocated")
+        if self._next_column + bits > self.total_columns:
+            raise ValueError(
+                f"cannot allocate {bits} columns for field {name!r}: only "
+                f"{self.free_columns} of {self.total_columns} columns free"
+            )
+        columns = tuple(range(self._next_column, self._next_column + bits))
+        self._next_column += bits
+        field = Field(name=name, columns=columns, signed=signed)
+        self._fields[name] = field
+        return field
+
+    def get(self, name: str) -> Field:
+        """Look up an allocated field by name."""
+        if name not in self._fields:
+            raise KeyError(f"no field named {name!r}")
+        return self._fields[name]
+
+    def layout(self) -> List[Tuple[str, int, int]]:
+        """Human-readable layout: (name, first column, width)."""
+        return [
+            (field.name, field.columns[0], field.bits)
+            for field in self._fields.values()
+        ]

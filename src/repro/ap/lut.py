@@ -1,0 +1,197 @@
+"""Look-Up Tables (LUTs) for bit-serial AP operations.
+
+Every arithmetic/logic operation on the AP is a short sequence of
+compare/write *passes* applied to one bit position at a time (Section II-B,
+Fig. 3).  A pass searches the CAM for a bit pattern over a small set of
+*roles* (operand bit ``a``, operand bit ``b``, result bit ``r``, carry
+``cy``, borrow ``bw`` ...) and rewrites some of those roles in the matching
+rows.  The processor binds roles to physical columns per bit position and
+sweeps the passes bit-serially.
+
+The LUTs defined here follow the associative-processing literature the paper
+builds on (Yantir et al.):
+
+* ``XOR_LUT`` — the worked example of Fig. 3 (two passes, result column
+  assumed pre-cleared);
+* ``ADD_LUT`` — in-place addition ``b <- a + b`` with a carry column
+  (four passes per bit);
+* ``SUB_LUT`` — in-place subtraction ``a <- a - b`` with a borrow column
+  (four passes per bit);
+* single-pass ``AND``/``OR``/``NOT``/``COPY`` helpers.
+
+Pass ordering matters: a row rewritten by an earlier pass must never match
+the search key of a later pass of the same bit position, otherwise it would
+be transformed twice.  The orderings below satisfy that property; the test
+suite checks the resulting arithmetic exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "LutPass",
+    "Lut",
+    "XOR_LUT",
+    "AND_LUT",
+    "OR_LUT",
+    "NOT_LUT",
+    "COPY_LUT",
+    "ADD_LUT",
+    "SUB_LUT",
+]
+
+
+@dataclass(frozen=True)
+class LutPass:
+    """One compare/write pass of a LUT.
+
+    Attributes
+    ----------
+    search:
+        Mapping ``role -> bit`` describing the key/mask of the compare cycle.
+    write:
+        Mapping ``role -> bit`` written to the matching rows.
+    """
+
+    search: Mapping[str, int]
+    write: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        if not self.search:
+            raise ValueError("a LUT pass must search at least one role")
+        if not self.write:
+            raise ValueError("a LUT pass must write at least one role")
+        for mapping in (self.search, self.write):
+            for role, bit in mapping.items():
+                if bit not in (0, 1):
+                    raise ValueError(f"bit for role {role!r} must be 0 or 1, got {bit}")
+
+
+@dataclass(frozen=True)
+class Lut:
+    """A named sequence of passes plus bookkeeping metadata.
+
+    Attributes
+    ----------
+    name:
+        Operation name (``"add"``, ``"xor"``, ...).
+    passes:
+        The ordered compare/write passes applied to each bit position.
+    roles:
+        All roles referenced by the passes.
+    in_place:
+        Whether the destination is one of the operands (``add``/``sub``)
+        rather than a separate, pre-cleared result column.
+    uses_state:
+        Name of the carry/borrow role threaded across bit positions, if any.
+    """
+
+    name: str
+    passes: Tuple[LutPass, ...]
+    in_place: bool = False
+    uses_state: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.passes:
+            raise ValueError("a LUT needs at least one pass")
+
+    @property
+    def roles(self) -> Tuple[str, ...]:
+        seen = []
+        for p in self.passes:
+            for role in list(p.search) + list(p.write):
+                if role not in seen:
+                    seen.append(role)
+        return tuple(seen)
+
+    @property
+    def passes_per_bit(self) -> int:
+        """Number of compare/write pairs applied per bit position."""
+        return len(self.passes)
+
+    def cycles_per_bit(self) -> int:
+        """Compare + write cycles per bit position (2 per pass)."""
+        return 2 * len(self.passes)
+
+
+# --------------------------------------------------------------------------- #
+# Logic LUTs (out of place: result column `r` must be pre-cleared to 0)        #
+# --------------------------------------------------------------------------- #
+
+#: Fig. 3 of the paper: ``r <- a XOR b``; rows with (a, b) = (0, 1) are
+#: rewritten in the first pass, rows with (1, 0) in the second.
+XOR_LUT = Lut(
+    name="xor",
+    passes=(
+        LutPass(search={"a": 0, "b": 1}, write={"r": 1}),
+        LutPass(search={"a": 1, "b": 0}, write={"r": 1}),
+    ),
+)
+
+AND_LUT = Lut(
+    name="and",
+    passes=(LutPass(search={"a": 1, "b": 1}, write={"r": 1}),),
+)
+
+OR_LUT = Lut(
+    name="or",
+    passes=(
+        LutPass(search={"a": 1}, write={"r": 1}),
+        LutPass(search={"b": 1}, write={"r": 1}),
+    ),
+)
+
+NOT_LUT = Lut(
+    name="not",
+    passes=(LutPass(search={"a": 0}, write={"r": 1}),),
+)
+
+COPY_LUT = Lut(
+    name="copy",
+    passes=(LutPass(search={"a": 1}, write={"r": 1}),),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Arithmetic LUTs                                                               #
+# --------------------------------------------------------------------------- #
+
+#: In-place addition ``b <- a + b`` with carry role ``cy``.
+#:
+#: Truth table of the full adder restricted to the rows whose state changes;
+#: the pass order guarantees that a freshly written row never matches a later
+#: pass of the same bit position.
+ADD_LUT = Lut(
+    name="add",
+    in_place=True,
+    uses_state="cy",
+    passes=(
+        # (cy=0, a=1, b=1): sum 0, carry 1
+        LutPass(search={"cy": 0, "a": 1, "b": 1}, write={"cy": 1, "b": 0}),
+        # (cy=0, a=1, b=0): sum 1, carry 0
+        LutPass(search={"cy": 0, "a": 1, "b": 0}, write={"b": 1}),
+        # (cy=1, a=0, b=0): sum 1, carry 0
+        LutPass(search={"cy": 1, "a": 0, "b": 0}, write={"cy": 0, "b": 1}),
+        # (cy=1, a=0, b=1): sum 0, carry 1
+        LutPass(search={"cy": 1, "a": 0, "b": 1}, write={"cy": 1, "b": 0}),
+    ),
+)
+
+#: In-place subtraction ``a <- a - b`` with borrow role ``bw``.
+SUB_LUT = Lut(
+    name="sub",
+    in_place=True,
+    uses_state="bw",
+    passes=(
+        # (bw=0, a=0, b=1): diff 1, borrow 1
+        LutPass(search={"bw": 0, "a": 0, "b": 1}, write={"bw": 1, "a": 1}),
+        # (bw=0, a=1, b=1): diff 0, borrow 0
+        LutPass(search={"bw": 0, "a": 1, "b": 1}, write={"a": 0}),
+        # (bw=1, a=1, b=0): diff 0, borrow 0
+        LutPass(search={"bw": 1, "a": 1, "b": 0}, write={"bw": 0, "a": 0}),
+        # (bw=1, a=0, b=0): diff 1, borrow 1
+        LutPass(search={"bw": 1, "a": 0, "b": 0}, write={"a": 1}),
+    ),
+)

@@ -1,0 +1,91 @@
+"""Technology parameters of the SRAM-based AP (16 nm).
+
+The paper's AP simulator "models the SRAM-based AP assuming a 16nm
+technology" at a maximum frequency of 1000 MHz (Table VI) and derives energy
+and latency from the elementary-operation cycle counts of Table II.  The
+authors do not publish their per-cycle energy constants, so this module
+defines a parameter set calibrated against two anchors the paper does give:
+
+* the optimum energy per elementary operation of ``5.88e-3 pJ`` (Table VI);
+* the AP area of ``0.02 mm^2`` per attention head implied by the reported
+  totals (0.64 / 0.81 / 1.28 mm^2 for 32 / 40 / 64 heads).
+
+All constants are plain dataclass fields so ablations can explore other
+technology corners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechnologyParameters", "TECH_16NM"]
+
+
+@dataclass(frozen=True)
+class TechnologyParameters:
+    """Energy / timing / area constants of the AP at a technology node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name.
+    frequency_hz:
+        Clock frequency of the compare/write cycles.
+    compare_energy_per_bit_j:
+        Energy of one CAM cell taking part in a compare cycle.
+    write_energy_per_bit_j:
+        Energy of writing one CAM cell.
+    row_access_energy_j:
+        Energy of activating one row for one cycle (match-line pre-charge,
+        tag latch and word-line drivers) — shared by all words packed in the
+        row and independent of how many columns are masked.
+    idle_row_leakage_w:
+        Static power per CAM row (leakage of the SRAM cells and match line
+        pre-charge); charged for the duration of an operation.
+    cell_area_um2:
+        Layout area of one CAM bit cell including its share of the
+        peripherals (key/mask/tag registers, controller).
+    """
+
+    name: str
+    frequency_hz: float
+    compare_energy_per_bit_j: float
+    write_energy_per_bit_j: float
+    row_access_energy_j: float
+    idle_row_leakage_w: float
+    cell_area_um2: float
+
+    def __post_init__(self) -> None:
+        for attribute in (
+            "frequency_hz",
+            "compare_energy_per_bit_j",
+            "write_energy_per_bit_j",
+            "row_access_energy_j",
+            "cell_area_um2",
+        ):
+            if getattr(self, attribute) <= 0:
+                raise ValueError(f"{attribute} must be > 0")
+        if self.idle_row_leakage_w < 0:
+            raise ValueError("idle_row_leakage_w must be >= 0")
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one compare or write cycle."""
+        return 1.0 / self.frequency_hz
+
+
+#: 16 nm parameter set used throughout the reproduction.  The per-bit
+#: compare/write energies are chosen so that the energy of one elementary
+#: word operation (Table II cycle counts, one active word) lands at the
+#: paper's reported optimum of ~5.9e-3 pJ per operation, and the cell area
+#: is chosen so that one per-head AP (2048 rows x ~64 columns) occupies
+#: ~0.02 mm^2 as implied by the paper's area totals.
+TECH_16NM = TechnologyParameters(
+    name="16nm",
+    frequency_hz=1.0e9,
+    compare_energy_per_bit_j=3.5e-17,
+    write_energy_per_bit_j=5.3e-17,
+    row_access_energy_j=8.0e-15,
+    idle_row_leakage_w=2.0e-9,
+    cell_area_um2=0.15,
+)

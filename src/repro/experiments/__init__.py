@@ -1,0 +1,53 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes a ``run(...)`` function returning a plain data
+structure plus a ``render(...)`` helper producing the table the paper
+reports.  The benchmark suite (``benchmarks/``) wraps these functions with
+pytest-benchmark so that regenerating an artefact is a single test
+invocation, and EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from repro.experiments.fig1_softmax_proportion import (
+    run_fig1_softmax_proportion,
+    render_fig1,
+)
+from repro.experiments.table1_precisions import run_table1, render_table1
+from repro.experiments.table2_runtime_formulas import run_table2, render_table2
+from repro.experiments.table3_4_perplexity import (
+    run_perplexity_sweep,
+    run_softmax_fidelity_sweep,
+    render_perplexity_table,
+)
+from repro.experiments.normalized_comparison import (
+    ComparisonPoint,
+    run_normalized_comparison,
+    render_comparison,
+    SEQUENCE_LENGTHS,
+    BATCH_SIZES,
+)
+from repro.experiments.table5_edp import run_table5, render_table5
+from repro.experiments.table6_related_works import run_table6, render_table6
+from repro.experiments.area import run_area, render_area
+
+__all__ = [
+    "run_fig1_softmax_proportion",
+    "render_fig1",
+    "run_table1",
+    "render_table1",
+    "run_table2",
+    "render_table2",
+    "run_perplexity_sweep",
+    "run_softmax_fidelity_sweep",
+    "render_perplexity_table",
+    "ComparisonPoint",
+    "run_normalized_comparison",
+    "render_comparison",
+    "SEQUENCE_LENGTHS",
+    "BATCH_SIZES",
+    "run_table5",
+    "render_table5",
+    "run_table6",
+    "render_table6",
+    "run_area",
+    "render_area",
+]

@@ -1,0 +1,208 @@
+"""Tables III & IV — precision sensitivity of the integer-only softmax.
+
+The paper measures WikiText-2 perplexity of Llama2-7b/13b when the attention
+softmax is replaced by the integer-only approximation, sweeping the input
+precision ``M``, the ``vcorr`` width and the sum headroom ``N``.  The
+reproduction substitutes the tiny trained numpy model and synthetic corpus
+(DESIGN.md §4) and reports two complementary views:
+
+* :func:`run_perplexity_sweep` — end-to-end perplexity of the substitute
+  model for every precision configuration (the direct analogue of
+  Tables III/IV, at reduced scale);
+* :func:`run_softmax_fidelity_sweep` — distribution-level degradation (KL
+  divergence to the FP softmax and the total probability-mass error) on
+  attention-score rows of the paper's 2048-token length, which exposes the
+  ``N`` saturation effect at the scale the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.llm.config import LlamaConfig
+from repro.llm.dataset import SyntheticCorpus, make_corpus
+from repro.llm.model import TinyLlamaModel
+from repro.llm.perplexity import evaluate_perplexity, integer_softmax_fn
+from repro.llm.trainer import Trainer
+from repro.quant.precision import PrecisionConfig
+from repro.softmax.integer_softmax import IntegerSoftmax
+from repro.softmax.metrics import kl_divergence
+from repro.softmax.reference import softmax
+from repro.utils.tables import TextTable
+
+__all__ = [
+    "PerplexityPoint",
+    "FidelityPoint",
+    "train_reference_model",
+    "run_perplexity_sweep",
+    "run_softmax_fidelity_sweep",
+    "render_perplexity_table",
+    "render_fidelity_table",
+    "PERPLEXITY_M_VALUES",
+    "PERPLEXITY_N_VALUES",
+]
+
+PERPLEXITY_M_VALUES: Tuple[int, ...] = (4, 6, 8)
+PERPLEXITY_N_VALUES: Tuple[int, ...] = (8, 12, 16, 20)
+
+
+@dataclass(frozen=True)
+class PerplexityPoint:
+    """Perplexity of one precision configuration (Tables III/IV analogue)."""
+
+    precision: Optional[PrecisionConfig]  # None = FP baseline
+    perplexity: float
+
+    @property
+    def label(self) -> str:
+        return "FP softmax" if self.precision is None else self.precision.label()
+
+
+@dataclass(frozen=True)
+class FidelityPoint:
+    """Distribution-level softmax degradation for one configuration."""
+
+    precision: PrecisionConfig
+    kl_to_fp: float
+    mass_error: float
+    saturated_fraction: float
+
+
+def train_reference_model(
+    seed: int = 0,
+    paragraphs: int = 150,
+    training_steps: int = 400,
+    hidden_size: int = 64,
+    context: int = 96,
+) -> Tuple[TinyLlamaModel, SyntheticCorpus]:
+    """Train the substitute model used by the perplexity sweep."""
+    corpus = make_corpus(paragraphs=paragraphs, seed=seed, max_vocab=96)
+    config = LlamaConfig(
+        name="TinyLlama-ppl",
+        num_layers=2,
+        num_heads=4,
+        num_kv_heads=4,
+        hidden_size=hidden_size,
+        intermediate_size=2 * hidden_size,
+        vocab_size=corpus.tokenizer.vocab_size,
+        max_context=context,
+    )
+    model = TinyLlamaModel(config, seed=seed)
+    trainer = Trainer(model, corpus.train_tokens, segment_length=context - 16,
+                      learning_rate=3e-3, seed=seed)
+    trainer.train(training_steps)
+    return model, corpus
+
+
+def run_perplexity_sweep(
+    model: Optional[TinyLlamaModel] = None,
+    corpus: Optional[SyntheticCorpus] = None,
+    m_values: Iterable[int] = (6, 8),
+    n_values: Iterable[int] = PERPLEXITY_N_VALUES,
+    vcorr_deltas: Iterable[int] = (0,),
+    include_m4: bool = True,
+    training_steps: int = 400,
+    seed: int = 0,
+) -> List[PerplexityPoint]:
+    """End-to-end perplexity for the precision grid (plus the FP baseline)."""
+    if model is None or corpus is None:
+        model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
+    segment = model.config.max_context - 16
+    points = [
+        PerplexityPoint(
+            precision=None,
+            perplexity=evaluate_perplexity(model, corpus.validation_tokens, segment),
+        )
+    ]
+    configurations: List[PrecisionConfig] = []
+    for delta in vcorr_deltas:
+        for m in m_values:
+            for n in n_values:
+                configurations.append(PrecisionConfig(m, delta, n))
+    if include_m4:
+        configurations.append(PrecisionConfig(4, 0, 16))
+    for config in configurations:
+        perplexity = evaluate_perplexity(
+            model,
+            corpus.validation_tokens,
+            segment,
+            softmax_fn=integer_softmax_fn(config),
+        )
+        points.append(PerplexityPoint(precision=config, perplexity=perplexity))
+    return points
+
+
+def _attention_like_scores(
+    rows: int, sequence_length: int, seed: int
+) -> np.ndarray:
+    """Synthetic attention-score rows: a mixture of flat rows (early-layer
+    behaviour) and peaked rows (late-layer behaviour)."""
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(0.0, 0.5, size=(rows // 2, sequence_length))
+    peaked = rng.normal(0.0, 2.0, size=(rows - rows // 2, sequence_length))
+    return np.concatenate([flat, peaked], axis=0)
+
+
+def run_softmax_fidelity_sweep(
+    sequence_length: int = 2048,
+    rows: int = 64,
+    m_values: Iterable[int] = PERPLEXITY_M_VALUES,
+    n_values: Iterable[int] = PERPLEXITY_N_VALUES,
+    vcorr_deltas: Iterable[int] = (0, 1, 2),
+    seed: int = 0,
+) -> List[FidelityPoint]:
+    """Distribution-level degradation sweep at the paper's row length."""
+    scores = _attention_like_scores(rows, sequence_length, seed)
+    reference = softmax(scores)
+    points: List[FidelityPoint] = []
+    for delta in vcorr_deltas:
+        for m in m_values:
+            for n in n_values:
+                config = PrecisionConfig(m, delta, n)
+                result = IntegerSoftmax(config).forward(scores)
+                mass_error = float(
+                    np.mean(np.abs(result.probabilities.sum(axis=-1) - 1.0))
+                )
+                points.append(
+                    FidelityPoint(
+                        precision=config,
+                        kl_to_fp=kl_divergence(reference, result.probabilities),
+                        mass_error=mass_error,
+                        saturated_fraction=result.saturated_fraction,
+                    )
+                )
+    return points
+
+
+def render_perplexity_table(points: List[PerplexityPoint]) -> str:
+    """Render the perplexity sweep (Tables III/IV analogue)."""
+    table = TextTable(
+        ["configuration", "perplexity"],
+        title="Tables III/IV — perplexity of the substitute model per precision",
+        float_digits=4,
+    )
+    for point in points:
+        table.add_row([point.label, point.perplexity])
+    return table.render()
+
+
+def render_fidelity_table(points: List[FidelityPoint]) -> str:
+    """Render the softmax-fidelity sweep."""
+    table = TextTable(
+        ["configuration", "KL(FP || int)", "probability-mass error", "saturated rows"],
+        title="Tables III/IV companion — softmax fidelity at sequence length 2048",
+        float_digits=4,
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.precision.label(),
+                point.kl_to_fp,
+                point.mass_error,
+                point.saturated_fraction,
+            ]
+        )
+    return table.render()

@@ -1,0 +1,35 @@
+"""Analytical GPU baselines (A100, RTX3090).
+
+The paper measures the softmax operator on real A100 and RTX3090 GPUs; this
+reproduction replaces those measurements with an analytical model built from
+the public datasheet numbers (memory bandwidth, peak throughput, TDP) plus a
+kernel-launch overhead and a transfer-size-dependent bandwidth efficiency —
+the two effects that shape the paper's observations (GPUs are least
+efficient at batch 1 / sequence 128, and the AP-vs-GPU gap narrows then
+flattens as the tensor grows).
+
+Modules
+-------
+:mod:`repro.gpu.spec`
+    :class:`GpuSpec` plus the A100 and RTX3090 parameter sets.
+:mod:`repro.gpu.softmax_model`
+    Latency/energy of the softmax operator on a GPU.
+:mod:`repro.gpu.transformer_model`
+    Whole-model runtime breakdown used for Fig. 1 (softmax runtime
+    proportion) and the Amdahl analysis.
+"""
+
+from repro.gpu.spec import GpuSpec, A100, RTX3090, GPUS
+from repro.gpu.softmax_model import GpuSoftmaxModel, KernelCost
+from repro.gpu.transformer_model import GpuTransformerModel, RuntimeBreakdown
+
+__all__ = [
+    "GpuSpec",
+    "A100",
+    "RTX3090",
+    "GPUS",
+    "GpuSoftmaxModel",
+    "KernelCost",
+    "GpuTransformerModel",
+    "RuntimeBreakdown",
+]

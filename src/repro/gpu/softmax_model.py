@@ -1,0 +1,127 @@
+"""Analytical model of the softmax operator on a GPU.
+
+The softmax kernel is memory-bound: every element of the attention-score
+tensor is read and written a small number of times (max, exponentiation +
+sum, normalisation), so its latency is transfer bytes divided by the
+achievable bandwidth, plus the fixed launch overhead of the kernels
+involved.  Energy is the product of latency and the power drawn at the
+achieved bandwidth utilisation.
+
+Two tensor shapes are modelled:
+
+* :meth:`GpuSoftmaxModel.decode_cost` — the per-generation-step softmax over
+  ``[batch, heads, seq]`` scores (the shape used for the normalized AP
+  comparison and Fig. 1's runtime share);
+* :meth:`GpuSoftmaxModel.prefill_cost` — the full ``[batch, heads, seq,
+  seq]`` prefill softmax (used by the whole-model runtime breakdown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.spec import GpuSpec
+from repro.utils.validation import check_positive_int
+
+__all__ = ["KernelCost", "GpuSoftmaxModel"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Latency/energy of one GPU kernel (or fused kernel group)."""
+
+    name: str
+    latency_s: float
+    energy_j: float
+    bytes_moved: float
+    achieved_bandwidth_bytes_per_s: float
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.latency_s * self.energy_j
+
+
+class GpuSoftmaxModel:
+    """Memory-bound softmax kernel model for one GPU.
+
+    Parameters
+    ----------
+    gpu:
+        The GPU specification.
+    dtype_bytes:
+        Bytes per score element.  The paper's PyTorch baseline upcasts the
+        attention scores to fp32 inside softmax, hence the default of 4.
+    passes:
+        Number of times each element crosses the memory interface (read for
+        the max, read for the exponential/sum, read + write for the
+        normalisation ~ 4; a fused kernel would need fewer).
+    kernels:
+        Number of kernel launches the operator needs (1 for the fused
+        PyTorch softmax kernel; an unfused implementation launches one
+        kernel per pass).
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        dtype_bytes: int = 4,
+        passes: int = 4,
+        kernels: int = 1,
+    ) -> None:
+        self.gpu = gpu
+        self.dtype_bytes = check_positive_int(dtype_bytes, "dtype_bytes")
+        self.passes = check_positive_int(passes, "passes")
+        self.kernels = check_positive_int(kernels, "kernels")
+
+    # ------------------------------------------------------------------ #
+    # Core cost helper                                                     #
+    # ------------------------------------------------------------------ #
+    def _cost(self, name: str, elements: float) -> KernelCost:
+        if elements <= 0:
+            raise ValueError("elements must be > 0")
+        bytes_moved = elements * self.dtype_bytes * self.passes
+        bandwidth = self.gpu.effective_bandwidth(bytes_moved)
+        transfer_time = bytes_moved / bandwidth
+        latency = self.kernels * self.gpu.kernel_launch_overhead_s + transfer_time
+        achieved = bytes_moved / latency
+        # Marginal energy attributable to the softmax operator: the data it
+        # moves plus the launches it issues (the GPU's idle power is not
+        # charged to softmax — it would be drawn regardless of which
+        # operator occupies the device).
+        energy = (
+            self.kernels * self.gpu.kernel_launch_energy_j
+            + bytes_moved * self.gpu.dram_energy_per_byte_j
+        )
+        return KernelCost(
+            name=name,
+            latency_s=latency,
+            energy_j=energy,
+            bytes_moved=bytes_moved,
+            achieved_bandwidth_bytes_per_s=achieved,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public shapes                                                        #
+    # ------------------------------------------------------------------ #
+    def decode_cost(self, batch_size: int, heads: int, sequence_length: int) -> KernelCost:
+        """Softmax over the decode-step score tensor ``[batch, heads, seq]``."""
+        check_positive_int(batch_size, "batch_size")
+        check_positive_int(heads, "heads")
+        check_positive_int(sequence_length, "sequence_length")
+        elements = float(batch_size) * heads * sequence_length
+        return self._cost(
+            f"{self.gpu.name}-softmax-decode[b{batch_size},h{heads},s{sequence_length}]",
+            elements,
+        )
+
+    def prefill_cost(self, batch_size: int, heads: int, sequence_length: int) -> KernelCost:
+        """Softmax over the prefill score tensor ``[batch, heads, seq, seq]``."""
+        check_positive_int(batch_size, "batch_size")
+        check_positive_int(heads, "heads")
+        check_positive_int(sequence_length, "sequence_length")
+        elements = float(batch_size) * heads * sequence_length * sequence_length
+        return self._cost(
+            f"{self.gpu.name}-softmax-prefill[b{batch_size},h{heads},s{sequence_length}]",
+            elements,
+        )

@@ -1,0 +1,140 @@
+"""GPU hardware specifications.
+
+Datasheet-level parameters of the two GPUs the paper compares against, plus
+the model parameters (kernel-launch overhead, bandwidth-efficiency curve,
+idle power) that the analytical kernel model needs.  The datasheet numbers
+are public; the model parameters are documented assumptions chosen so that
+the resulting softmax kernel times and energies reproduce the qualitative
+regimes reported by the paper (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["GpuSpec", "A100", "RTX3090", "GPUS"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Parameters of one GPU.
+
+    Attributes
+    ----------
+    name:
+        Marketing name used in reports.
+    memory_bandwidth_bytes_per_s:
+        Peak DRAM bandwidth.
+    peak_fp16_flops:
+        Peak half-precision throughput (tensor cores).
+    tdp_w:
+        Board power limit.
+    idle_power_w:
+        Power drawn while a kernel occupies the GPU without saturating it
+        (static + clocking overhead).
+    kernel_launch_overhead_s:
+        Fixed host-side + scheduling latency per kernel launch.
+    max_bandwidth_efficiency:
+        Fraction of peak bandwidth achievable by the (strided,
+        attention-shaped) softmax kernel on a large tensor.
+    bandwidth_half_point_bytes:
+        Transfer size at which half of the maximum efficiency is reached
+        (models the poor utilisation of small tensors).
+    streaming_efficiency:
+        Fraction of peak bandwidth achieved by large sequential streams
+        (weight loading, fused prefill kernels).
+    dram_energy_per_byte_j:
+        Marginal energy of moving one byte through the memory hierarchy
+        (DRAM access + on-chip transport + the compute attributable to it).
+    kernel_launch_energy_j:
+        Marginal energy of one kernel launch (host work, scheduling and the
+        idle-power window it keeps open).
+    """
+
+    name: str
+    memory_bandwidth_bytes_per_s: float
+    peak_fp16_flops: float
+    tdp_w: float
+    idle_power_w: float
+    kernel_launch_overhead_s: float
+    max_bandwidth_efficiency: float
+    bandwidth_half_point_bytes: float
+    streaming_efficiency: float
+    dram_energy_per_byte_j: float
+    kernel_launch_energy_j: float
+
+    def __post_init__(self) -> None:
+        positive = (
+            "memory_bandwidth_bytes_per_s",
+            "peak_fp16_flops",
+            "tdp_w",
+            "idle_power_w",
+            "kernel_launch_overhead_s",
+            "max_bandwidth_efficiency",
+            "bandwidth_half_point_bytes",
+            "streaming_efficiency",
+            "dram_energy_per_byte_j",
+            "kernel_launch_energy_j",
+        )
+        for attribute in positive:
+            if getattr(self, attribute) <= 0:
+                raise ValueError(f"{attribute} must be > 0")
+        if not 0 < self.max_bandwidth_efficiency <= 1:
+            raise ValueError("max_bandwidth_efficiency must be in (0, 1]")
+        if not 0 < self.streaming_efficiency <= 1:
+            raise ValueError("streaming_efficiency must be in (0, 1]")
+
+    def effective_bandwidth(self, bytes_moved: float) -> float:
+        """Achievable bandwidth for a transfer of ``bytes_moved`` bytes.
+
+        A saturating curve ``eff = max_eff * b / (b + half_point)`` captures
+        the fact that small kernels cannot hide memory latency or fill all
+        memory channels.
+        """
+        if bytes_moved <= 0:
+            raise ValueError("bytes_moved must be > 0")
+        efficiency = (
+            self.max_bandwidth_efficiency
+            * bytes_moved
+            / (bytes_moved + self.bandwidth_half_point_bytes)
+        )
+        return self.memory_bandwidth_bytes_per_s * efficiency
+
+    def streaming_bandwidth(self) -> float:
+        """Bandwidth achieved by large sequential streams (weight loads)."""
+        return self.memory_bandwidth_bytes_per_s * self.streaming_efficiency
+
+
+#: NVIDIA A100 80GB (SXM): 2039 GB/s HBM2e, 312 TFLOPS FP16, 400 W.
+A100 = GpuSpec(
+    name="A100",
+    memory_bandwidth_bytes_per_s=2.039e12,
+    peak_fp16_flops=312e12,
+    tdp_w=400.0,
+    idle_power_w=80.0,
+    kernel_launch_overhead_s=8e-6,
+    max_bandwidth_efficiency=0.30,
+    bandwidth_half_point_bytes=8e6,
+    streaming_efficiency=0.70,
+    dram_energy_per_byte_j=0.05e-9,
+    kernel_launch_energy_j=2.0e-6,
+)
+
+#: NVIDIA GeForce RTX 3090: 936 GB/s GDDR6X, 71 TFLOPS FP16 (tensor), 350 W.
+RTX3090 = GpuSpec(
+    name="RTX3090",
+    memory_bandwidth_bytes_per_s=0.936e12,
+    peak_fp16_flops=71e12,
+    tdp_w=350.0,
+    idle_power_w=60.0,
+    kernel_launch_overhead_s=10e-6,
+    max_bandwidth_efficiency=0.30,
+    bandwidth_half_point_bytes=8e6,
+    streaming_efficiency=0.70,
+    dram_energy_per_byte_j=0.12e-9,
+    kernel_launch_energy_j=2.0e-6,
+)
+
+#: The GPUs compared against in the paper, keyed by name.
+GPUS: Dict[str, GpuSpec] = {"A100": A100, "RTX3090": RTX3090}

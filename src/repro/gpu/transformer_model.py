@@ -1,0 +1,226 @@
+"""Whole-model GPU runtime breakdown (Fig. 1 and the Amdahl analysis).
+
+Fig. 1 of the paper reports the fraction of Llama2-7b runtime spent in
+softmax on an A100 as a function of sequence length: ~3 % at and below 1024
+and up to 38 % at 16384.  That growth pattern is characteristic of the
+*prefill* phase: weight GEMM time grows linearly with the sequence length
+while the attention-score softmax grows quadratically, so its share rises
+and then saturates.
+
+:class:`GpuTransformerModel` models one prefill pass as three components:
+
+* **weight GEMMs** — ``2 * parameters * tokens`` FLOPs at a fraction of the
+  GPU's peak tensor throughput;
+* **attention matmuls** — the ``Q K^T`` and ``P V`` products
+  (``4 * layers * hidden * seq^2`` FLOPs);
+* **softmax** — the ``[batch, heads, seq, seq]`` score tensor streamed
+  ``passes`` times at the GPU's streaming bandwidth plus one kernel launch
+  per layer.
+
+It also exposes a decode-step breakdown (weights + KV cache + softmax) used
+by the examples, and an Amdahl helper for the paper's "6.7x softmax speedup
+=> 10.71 % end-to-end" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.softmax_model import GpuSoftmaxModel
+from repro.gpu.spec import GpuSpec
+from repro.llm.config import LlamaConfig
+from repro.utils.validation import check_positive_int
+
+__all__ = ["RuntimeBreakdown", "GpuTransformerModel"]
+
+
+@dataclass(frozen=True)
+class RuntimeBreakdown:
+    """Runtime split of one forward pass (prefill or decode step)."""
+
+    model: str
+    gpu: str
+    phase: str
+    batch_size: int
+    sequence_length: int
+    gemm_time_s: float
+    attention_matmul_time_s: float
+    softmax_time_s: float
+    other_time_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Total latency of the pass."""
+        return (
+            self.gemm_time_s
+            + self.attention_matmul_time_s
+            + self.softmax_time_s
+            + self.other_time_s
+        )
+
+    @property
+    def softmax_fraction(self) -> float:
+        """Fraction of the pass spent in softmax (the Fig. 1 quantity)."""
+        return self.softmax_time_s / self.total_s
+
+    def with_softmax_speedup(self, speedup: float) -> "RuntimeBreakdown":
+        """Amdahl's law: the breakdown after accelerating softmax."""
+        if speedup <= 0:
+            raise ValueError("speedup must be > 0")
+        return RuntimeBreakdown(
+            model=self.model,
+            gpu=self.gpu,
+            phase=self.phase,
+            batch_size=self.batch_size,
+            sequence_length=self.sequence_length,
+            gemm_time_s=self.gemm_time_s,
+            attention_matmul_time_s=self.attention_matmul_time_s,
+            softmax_time_s=self.softmax_time_s / speedup,
+            other_time_s=self.other_time_s,
+        )
+
+    def end_to_end_reduction(self, speedup: float) -> float:
+        """Relative end-to-end time saved when softmax is sped up by
+        ``speedup`` (the paper's 10.71 % figure for 6.7x on Llama2-70b)."""
+        accelerated = self.with_softmax_speedup(speedup)
+        return 1.0 - accelerated.total_s / self.total_s
+
+
+class GpuTransformerModel:
+    """Analytical runtime model of a Llama2-style model on a GPU.
+
+    Parameters
+    ----------
+    gpu:
+        GPU specification.
+    model:
+        Model shape configuration.
+    compute_efficiency:
+        Fraction of peak tensor throughput achieved by the large GEMMs.
+    softmax_dtype_bytes / softmax_passes:
+        Data type width and memory passes of the attention softmax kernel.
+    nonlinear_overhead:
+        Extra time (fraction of the GEMM time) for the remaining non-GEMM
+        work other than softmax (layer norms, rotary embeddings, SwiGLU
+        activations, scheduling).
+    weight_dtype_bytes:
+        Bytes per weight (2 for fp16), used by the decode-step model.
+    """
+
+    def __init__(
+        self,
+        gpu: GpuSpec,
+        model: LlamaConfig,
+        compute_efficiency: float = 0.5,
+        softmax_dtype_bytes: int = 2,
+        softmax_passes: int = 3,
+        nonlinear_overhead: float = 0.05,
+        weight_dtype_bytes: int = 2,
+    ) -> None:
+        self.gpu = gpu
+        self.model = model
+        if not 0 < compute_efficiency <= 1:
+            raise ValueError("compute_efficiency must be in (0, 1]")
+        self.compute_efficiency = float(compute_efficiency)
+        self.softmax_dtype_bytes = check_positive_int(softmax_dtype_bytes, "softmax_dtype_bytes")
+        self.softmax_passes = check_positive_int(softmax_passes, "softmax_passes")
+        if nonlinear_overhead < 0:
+            raise ValueError("nonlinear_overhead must be >= 0")
+        self.nonlinear_overhead = float(nonlinear_overhead)
+        self.weight_dtype_bytes = check_positive_int(weight_dtype_bytes, "weight_dtype_bytes")
+        self.softmax_model = GpuSoftmaxModel(gpu)
+
+    # ------------------------------------------------------------------ #
+    # Prefill (Fig. 1)                                                     #
+    # ------------------------------------------------------------------ #
+    def prefill(self, batch_size: int, sequence_length: int) -> RuntimeBreakdown:
+        """Runtime breakdown of one prefill pass over ``sequence_length``
+        tokens."""
+        check_positive_int(batch_size, "batch_size")
+        check_positive_int(sequence_length, "sequence_length")
+        throughput = self.gpu.peak_fp16_flops * self.compute_efficiency
+
+        gemm_flops = 2.0 * self.model.parameter_count * sequence_length * batch_size
+        gemm_time = gemm_flops / throughput
+
+        attention_flops = (
+            4.0
+            * self.model.num_layers
+            * self.model.hidden_size
+            * float(sequence_length) ** 2
+            * batch_size
+        )
+        attention_time = attention_flops / throughput
+
+        score_elements = (
+            float(batch_size)
+            * self.model.num_heads
+            * sequence_length
+            * sequence_length
+        )
+        softmax_bytes = score_elements * self.softmax_dtype_bytes * self.softmax_passes
+        softmax_time = self.model.num_layers * (
+            self.gpu.kernel_launch_overhead_s
+            + softmax_bytes / self.gpu.streaming_bandwidth()
+        )
+
+        other_time = self.nonlinear_overhead * gemm_time
+        return RuntimeBreakdown(
+            model=self.model.name,
+            gpu=self.gpu.name,
+            phase="prefill",
+            batch_size=batch_size,
+            sequence_length=sequence_length,
+            gemm_time_s=gemm_time,
+            attention_matmul_time_s=attention_time,
+            softmax_time_s=softmax_time,
+            other_time_s=other_time,
+        )
+
+    def softmax_fraction(self, batch_size: int, sequence_length: int) -> float:
+        """Convenience accessor for the Fig. 1 quantity."""
+        return self.prefill(batch_size, sequence_length).softmax_fraction
+
+    # ------------------------------------------------------------------ #
+    # Decode step                                                          #
+    # ------------------------------------------------------------------ #
+    def decode_step(self, batch_size: int, sequence_length: int) -> RuntimeBreakdown:
+        """Runtime breakdown of one auto-regressive decode step at context
+        length ``sequence_length`` (memory-bound weights + KV cache +
+        softmax)."""
+        check_positive_int(batch_size, "batch_size")
+        check_positive_int(sequence_length, "sequence_length")
+        bandwidth = self.gpu.streaming_bandwidth()
+
+        weight_bytes = float(self.model.parameter_count) * self.weight_dtype_bytes
+        weight_time = weight_bytes / bandwidth
+
+        kv_bytes = (
+            2.0
+            * batch_size
+            * self.model.num_layers
+            * self.model.num_kv_heads
+            * self.model.head_dim
+            * sequence_length
+            * self.weight_dtype_bytes
+        )
+        kv_time = kv_bytes / bandwidth
+
+        softmax_time = (
+            self.model.num_layers
+            * self.softmax_model.decode_cost(
+                batch_size, self.model.num_heads, sequence_length
+            ).latency_s
+        )
+        other_time = self.nonlinear_overhead * weight_time
+        return RuntimeBreakdown(
+            model=self.model.name,
+            gpu=self.gpu.name,
+            phase="decode",
+            batch_size=batch_size,
+            sequence_length=sequence_length,
+            gemm_time_s=weight_time,
+            attention_matmul_time_s=kv_time,
+            softmax_time_s=softmax_time,
+            other_time_s=other_time,
+        )

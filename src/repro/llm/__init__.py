@@ -1,0 +1,34 @@
+"""LLM substrate.
+
+Two roles:
+
+* **Model-shape configurations** (:mod:`repro.llm.config`) — the exact
+  Llama2-7b / 13b / 70b architecture parameters (layers, heads, hidden
+  size, context) used by the hardware characterization (Figs. 1, 6-8,
+  Tables V, VI and the area figures).
+* **A runnable numpy language model** (:mod:`repro.llm.model`,
+  :mod:`repro.llm.tokenizer`, :mod:`repro.llm.dataset`,
+  :mod:`repro.llm.trainer`, :mod:`repro.llm.perplexity`) — a tiny
+  Llama-architecture decoder-only transformer (RMSNorm, RoPE, SwiGLU,
+  multi-head attention with a pluggable softmax) that substitutes for the
+  Llama2 checkpoints in the perplexity sensitivity study (Tables III/IV),
+  as documented in DESIGN.md.
+"""
+
+from repro.llm.config import (
+    LlamaConfig,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+    TINY_LLAMA,
+    LLAMA2_MODELS,
+)
+
+__all__ = [
+    "LlamaConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "TINY_LLAMA",
+    "LLAMA2_MODELS",
+]

@@ -1,0 +1,182 @@
+"""Model architecture configurations.
+
+The hardware experiments need the *shapes* of the Llama2 family — number of
+decoder layers, attention heads (query and key/value), hidden size and feed
+forward size — to count softmax work, attention FLOPs and memory traffic.
+These are public architecture facts of the Llama2 release (Touvron et al.,
+2023) and are encoded exactly.  ``TINY_LLAMA`` is the reduced configuration
+used by the trainable numpy substitute model for the perplexity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "LlamaConfig",
+    "LLAMA2_7B",
+    "LLAMA2_13B",
+    "LLAMA2_70B",
+    "TINY_LLAMA",
+    "LLAMA2_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class LlamaConfig:
+    """Decoder-only transformer shape (Llama2 conventions).
+
+    Attributes
+    ----------
+    name:
+        Model name used in reports.
+    num_layers:
+        Number of decoder blocks.
+    num_heads:
+        Number of query attention heads per block.
+    num_kv_heads:
+        Number of key/value heads (grouped-query attention; equals
+        ``num_heads`` for the 7b/13b models, 8 for 70b).
+    hidden_size:
+        Model (embedding) dimension.
+    intermediate_size:
+        Feed-forward (SwiGLU) hidden dimension.
+    vocab_size:
+        Vocabulary size.
+    max_context:
+        Native context length.
+    """
+
+    name: str
+    num_layers: int
+    num_heads: int
+    num_kv_heads: int
+    hidden_size: int
+    intermediate_size: int
+    vocab_size: int
+    max_context: int
+
+    def __post_init__(self) -> None:
+        for attribute in (
+            "num_layers",
+            "num_heads",
+            "num_kv_heads",
+            "hidden_size",
+            "intermediate_size",
+            "vocab_size",
+            "max_context",
+        ):
+            check_positive_int(getattr(self, attribute), attribute)
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError("hidden_size must be divisible by num_heads")
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError("num_heads must be divisible by num_kv_heads")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension."""
+        return self.hidden_size // self.num_heads
+
+    @property
+    def parameter_count(self) -> int:
+        """Approximate parameter count (embeddings + decoder blocks)."""
+        embed = self.vocab_size * self.hidden_size
+        kv_dim = self.num_kv_heads * self.head_dim
+        attention = self.hidden_size * (
+            self.hidden_size  # W_Q
+            + kv_dim           # W_K
+            + kv_dim           # W_V
+            + self.hidden_size  # W_O
+        )
+        ffn = 3 * self.hidden_size * self.intermediate_size
+        norms = 2 * self.hidden_size
+        per_layer = attention + ffn + norms
+        head = self.vocab_size * self.hidden_size
+        return embed + self.num_layers * per_layer + head + self.hidden_size
+
+    def attention_score_elements(self, sequence_length: int, batch_size: int = 1) -> int:
+        """Number of attention-score (softmax input) elements produced by one
+        forward pass over ``sequence_length`` tokens (prefill)."""
+        check_positive_int(sequence_length, "sequence_length")
+        check_positive_int(batch_size, "batch_size")
+        return (
+            batch_size
+            * self.num_layers
+            * self.num_heads
+            * sequence_length
+            * sequence_length
+        )
+
+    def softmax_vectors_per_layer(self, sequence_length: int, batch_size: int = 1) -> int:
+        """Number of softmax vectors (one per query position per head) in one
+        decoder layer during prefill."""
+        return batch_size * self.num_heads * sequence_length
+
+    def flops_per_token(self, sequence_length: int) -> float:
+        """Approximate FLOPs to process one token at context length
+        ``sequence_length`` (weight FLOPs + attention score/value FLOPs)."""
+        check_positive_int(sequence_length, "sequence_length")
+        weight_flops = 2.0 * self.parameter_count
+        attention_flops = (
+            4.0 * self.num_layers * self.num_heads * self.head_dim * sequence_length
+        )
+        return weight_flops + attention_flops
+
+
+#: Llama2-7b: 32 layers, 32 heads, d_model 4096.
+LLAMA2_7B = LlamaConfig(
+    name="Llama2-7b",
+    num_layers=32,
+    num_heads=32,
+    num_kv_heads=32,
+    hidden_size=4096,
+    intermediate_size=11008,
+    vocab_size=32000,
+    max_context=4096,
+)
+
+#: Llama2-13b: 40 layers, 40 heads, d_model 5120.
+LLAMA2_13B = LlamaConfig(
+    name="Llama2-13b",
+    num_layers=40,
+    num_heads=40,
+    num_kv_heads=40,
+    hidden_size=5120,
+    intermediate_size=13824,
+    vocab_size=32000,
+    max_context=4096,
+)
+
+#: Llama2-70b: 80 layers, 64 query heads with 8 KV heads (GQA), d_model 8192.
+LLAMA2_70B = LlamaConfig(
+    name="Llama2-70b",
+    num_layers=80,
+    num_heads=64,
+    num_kv_heads=8,
+    hidden_size=8192,
+    intermediate_size=28672,
+    vocab_size=32000,
+    max_context=4096,
+)
+
+#: Reduced configuration for the trainable numpy substitute model.
+TINY_LLAMA = LlamaConfig(
+    name="TinyLlama",
+    num_layers=2,
+    num_heads=4,
+    num_kv_heads=4,
+    hidden_size=64,
+    intermediate_size=128,
+    vocab_size=128,
+    max_context=256,
+)
+
+#: The three models evaluated by the paper, keyed by short name.
+LLAMA2_MODELS: Dict[str, LlamaConfig] = {
+    "7b": LLAMA2_7B,
+    "13b": LLAMA2_13B,
+    "70b": LLAMA2_70B,
+}

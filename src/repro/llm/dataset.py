@@ -1,0 +1,102 @@
+"""Synthetic corpus generator (WikiText-2 substitute).
+
+The perplexity sensitivity study needs a corpus whose next-token
+distribution a small transformer can actually learn, so that degrading the
+attention softmax measurably degrades perplexity.  The generator below
+produces deterministic pseudo-English from a small probabilistic grammar
+with two long-range properties that reward attention:
+
+* each "paragraph" picks a protagonist and a location that recur several
+  sentences later (copying rewards attending far back);
+* verb/object choices are correlated with the protagonist (so sharp
+  attention to the right token carries predictive information).
+
+The generator is fully offline and seeded, so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.llm.tokenizer import WordTokenizer
+from repro.utils.validation import check_positive_int
+
+__all__ = ["SyntheticCorpus", "make_corpus"]
+
+_NAMES = ["alice", "bob", "carol", "dave", "erin", "frank", "grace", "heidi"]
+_PLACES = ["market", "harbor", "library", "garden", "forge", "tower", "mill", "bridge"]
+_VERBS = ["visited", "repaired", "studied", "painted", "guarded", "mapped", "sold", "found"]
+_OBJECTS = ["lantern", "ledger", "compass", "barrel", "mosaic", "anchor", "scroll", "bell"]
+_CONNECTORS = ["then", "later", "afterwards", "meanwhile"]
+
+
+@dataclass(frozen=True)
+class SyntheticCorpus:
+    """A tokenized synthetic corpus split into train and validation."""
+
+    tokenizer: WordTokenizer
+    train_tokens: np.ndarray
+    validation_tokens: np.ndarray
+    train_text: str
+    validation_text: str
+
+
+def _paragraph(rng: np.random.Generator) -> str:
+    name = _NAMES[rng.integers(len(_NAMES))]
+    place = _PLACES[rng.integers(len(_PLACES))]
+    # The protagonist prefers two verbs and two objects; sentences re-use
+    # them, so attending to earlier mentions is informative.
+    verbs = rng.choice(_VERBS, size=2, replace=False)
+    objects = rng.choice(_OBJECTS, size=2, replace=False)
+    sentences: List[str] = [f"{name} went to the {place} ."]
+    for _ in range(int(rng.integers(3, 6))):
+        connector = _CONNECTORS[rng.integers(len(_CONNECTORS))]
+        verb = verbs[rng.integers(2)]
+        obj = objects[rng.integers(2)]
+        if rng.random() < 0.5:
+            sentences.append(f"{connector} {name} {verb} the {obj} at the {place} .")
+        else:
+            sentences.append(f"{connector} the {obj} was {verb} by {name} .")
+    sentences.append(f"finally {name} left the {place} .")
+    return " ".join(sentences)
+
+
+def make_corpus(
+    paragraphs: int = 200,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+    max_vocab: int = 128,
+) -> SyntheticCorpus:
+    """Generate a deterministic synthetic corpus.
+
+    Parameters
+    ----------
+    paragraphs:
+        Number of generated paragraphs.
+    validation_fraction:
+        Fraction of paragraphs held out for perplexity evaluation.
+    seed:
+        RNG seed (the corpus is fully determined by it).
+    max_vocab:
+        Vocabulary cap passed to the tokenizer.
+    """
+    check_positive_int(paragraphs, "paragraphs")
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    texts = [_paragraph(rng) for _ in range(paragraphs)]
+    split = max(1, int(round(paragraphs * (1.0 - validation_fraction))))
+    # Join with double linebreaks as the paper does for WikiText-2.
+    train_text = "\n\n".join(texts[:split])
+    validation_text = "\n\n".join(texts[split:])
+    tokenizer = WordTokenizer([train_text], max_vocab=max_vocab)
+    return SyntheticCorpus(
+        tokenizer=tokenizer,
+        train_tokens=tokenizer.encode(train_text),
+        validation_tokens=tokenizer.encode(validation_text),
+        train_text=train_text,
+        validation_text=validation_text,
+    )

@@ -1,0 +1,208 @@
+"""Tiny Llama-architecture decoder-only transformer in numpy.
+
+The model mirrors the structure of a Llama2 decoder block (Fig. 2 of the
+paper): RMSNorm -> multi-head causal self-attention -> residual -> RMSNorm
+-> SwiGLU feed-forward -> residual, with a final RMSNorm and a linear
+output head.  Two deliberate simplifications versus the full Llama2
+architecture are documented in DESIGN.md: learned absolute position
+embeddings replace rotary embeddings, and the model is small enough to
+train on the synthetic corpus in seconds.
+
+The attention softmax is pluggable: during training the differentiable
+floating-point softmax is used; during evaluation an arbitrary callable
+(e.g. :class:`~repro.softmax.integer_softmax.IntegerSoftmax`) can be
+substituted row by row over the causally-valid prefix, which is exactly how
+the SoftmAP hardware would see the scores (the AP is handed only the valid
+keys of each query).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.llm.config import LlamaConfig, TINY_LLAMA
+from repro.nn.autograd import Parameter, Tensor, no_grad
+from repro.nn.functional import (
+    add,
+    cross_entropy,
+    embedding,
+    matmul,
+    mul,
+    rms_norm,
+    scale,
+    silu,
+    softmax_op,
+)
+
+__all__ = ["TinyLlamaModel", "SoftmaxFn"]
+
+#: A softmax replacement: maps a score vector (1-D numpy array) to
+#: probabilities of the same length.
+SoftmaxFn = Callable[[np.ndarray], np.ndarray]
+
+
+class TinyLlamaModel:
+    """A small decoder-only transformer with Llama-style blocks.
+
+    Parameters
+    ----------
+    config:
+        Model shape; defaults to :data:`~repro.llm.config.TINY_LLAMA`.
+    seed:
+        Seed of the weight initialisation.
+    """
+
+    def __init__(self, config: LlamaConfig = TINY_LLAMA, seed: int = 0) -> None:
+        self.config = config
+        rng = np.random.default_rng(seed)
+        d = config.hidden_size
+        h = config.num_heads
+        hd = config.head_dim
+        f = config.intermediate_size
+        v = config.vocab_size
+
+        def init(*shape):
+            return Parameter(rng.normal(0.0, 0.02, size=shape))
+
+        self.token_embedding = init(v, d)
+        self.position_embedding = init(config.max_context, d)
+        self.layers: List[dict] = []
+        for _ in range(config.num_layers):
+            layer = {
+                "attn_norm": Parameter(np.ones(d)),
+                "wq": [init(d, hd) for _ in range(h)],
+                "wk": [init(d, hd) for _ in range(h)],
+                "wv": [init(d, hd) for _ in range(h)],
+                "wo": [init(hd, d) for _ in range(h)],
+                "ffn_norm": Parameter(np.ones(d)),
+                "w_gate": init(d, f),
+                "w_up": init(d, f),
+                "w_down": init(f, d),
+            }
+            self.layers.append(layer)
+        self.final_norm = Parameter(np.ones(d))
+        self.output_head = init(d, v)
+
+    # ------------------------------------------------------------------ #
+    # Parameters                                                           #
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters (for the optimiser)."""
+        params: List[Parameter] = [
+            self.token_embedding,
+            self.position_embedding,
+            self.final_norm,
+            self.output_head,
+        ]
+        for layer in self.layers:
+            params.extend([layer["attn_norm"], layer["ffn_norm"],
+                           layer["w_gate"], layer["w_up"], layer["w_down"]])
+            for key in ("wq", "wk", "wv", "wo"):
+                params.extend(layer[key])
+        return params
+
+    def parameter_count(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(p.data.size for p in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # Forward                                                              #
+    # ------------------------------------------------------------------ #
+    def forward(
+        self,
+        tokens: np.ndarray,
+        softmax_fn: Optional[SoftmaxFn] = None,
+    ) -> Tensor:
+        """Compute next-token logits for a 1-D token id sequence.
+
+        Parameters
+        ----------
+        tokens:
+            Integer token ids of shape ``(T,)`` with ``T <= max_context``.
+        softmax_fn:
+            Optional replacement for the attention softmax, applied row by
+            row over each query's causally-valid prefix.  Must only be used
+            for evaluation (no gradients flow through it).
+        """
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.ndim != 1:
+            raise ValueError("forward expects a 1-D token sequence")
+        t = tokens.shape[0]
+        if t > self.config.max_context:
+            raise ValueError(
+                f"sequence of length {t} exceeds max context {self.config.max_context}"
+            )
+        causal_mask = np.triu(np.full((t, t), -1e30), k=1)
+        scale_factor = 1.0 / np.sqrt(self.config.head_dim)
+
+        positions = np.arange(t)
+        x = add(
+            embedding(self.token_embedding, tokens),
+            embedding(self.position_embedding, positions),
+        )
+        for layer in self.layers:
+            x = add(x, self._attention(x, layer, causal_mask, scale_factor, softmax_fn))
+            x = add(x, self._feed_forward(x, layer))
+        x = rms_norm(x, self.final_norm)
+        return matmul(x, self.output_head)
+
+    def loss(self, tokens: np.ndarray, softmax_fn: Optional[SoftmaxFn] = None) -> Tensor:
+        """Mean next-token cross entropy on a token sequence."""
+        tokens = np.asarray(tokens, dtype=np.int64)
+        if tokens.shape[0] < 2:
+            raise ValueError("need at least two tokens to form a prediction target")
+        logits = self.forward(tokens[:-1], softmax_fn=softmax_fn)
+        return cross_entropy(logits, tokens[1:])
+
+    # ------------------------------------------------------------------ #
+    # Blocks                                                               #
+    # ------------------------------------------------------------------ #
+    def _attention(
+        self,
+        x: Tensor,
+        layer: dict,
+        causal_mask: np.ndarray,
+        scale_factor: float,
+        softmax_fn: Optional[SoftmaxFn],
+    ) -> Tensor:
+        normed = rms_norm(x, layer["attn_norm"])
+        head_outputs: Optional[Tensor] = None
+        for head in range(self.config.num_heads):
+            q = matmul(normed, layer["wq"][head])
+            k = matmul(normed, layer["wk"][head])
+            v = matmul(normed, layer["wv"][head])
+            scores = scale(matmul(q, k, transpose_b=True), scale_factor)
+            if softmax_fn is None:
+                probabilities = softmax_op(scores, mask=causal_mask)
+            else:
+                probabilities = Tensor(
+                    self._apply_replacement_softmax(scores.data, softmax_fn)
+                )
+            context = matmul(probabilities, v)
+            projected = matmul(context, layer["wo"][head])
+            head_outputs = projected if head_outputs is None else add(head_outputs, projected)
+        return head_outputs
+
+    def _feed_forward(self, x: Tensor, layer: dict) -> Tensor:
+        normed = rms_norm(x, layer["ffn_norm"])
+        gate = silu(matmul(normed, layer["w_gate"]))
+        up = matmul(normed, layer["w_up"])
+        return matmul(mul(gate, up), layer["w_down"])
+
+    @staticmethod
+    def _apply_replacement_softmax(
+        scores: np.ndarray, softmax_fn: SoftmaxFn
+    ) -> np.ndarray:
+        """Apply a replacement softmax row by row over the causal prefix.
+
+        Row ``i`` of the score matrix may only attend to keys ``0..i``; the
+        replacement softmax (e.g. the integer-only approximation) is handed
+        exactly that prefix, and future positions receive probability zero.
+        """
+        t = scores.shape[0]
+        probabilities = np.zeros_like(scores)
+        for i in range(t):
+            probabilities[i, : i + 1] = softmax_fn(scores[i, : i + 1])
+        return probabilities

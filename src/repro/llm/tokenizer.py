@@ -1,0 +1,73 @@
+"""Word-level tokenizer for the synthetic corpus.
+
+The paper tokenizes WikiText-2 with each model's own HuggingFace tokenizer;
+for the synthetic substitute corpus a simple word-level vocabulary is
+sufficient (the perplexity experiment only needs a consistent token stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+__all__ = ["WordTokenizer"]
+
+
+class WordTokenizer:
+    """Whitespace word tokenizer with a fixed vocabulary.
+
+    Parameters
+    ----------
+    corpus:
+        Iterable of text strings used to build the vocabulary (most frequent
+        words first).
+    max_vocab:
+        Maximum vocabulary size including the special tokens.
+    """
+
+    UNK = "<unk>"
+    EOS = "<eos>"
+
+    def __init__(self, corpus: Iterable[str], max_vocab: int = 512) -> None:
+        if max_vocab < 4:
+            raise ValueError("max_vocab must be at least 4")
+        counts: Dict[str, int] = {}
+        for text in corpus:
+            for word in text.split():
+                counts[word] = counts.get(word, 0) + 1
+        ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        words = [self.UNK, self.EOS] + [w for w, _ in ordered[: max_vocab - 2]]
+        self._word_to_id: Dict[str, int] = {w: i for i, w in enumerate(words)}
+        self._id_to_word: List[str] = words
+
+    @property
+    def vocab_size(self) -> int:
+        """Number of tokens in the vocabulary."""
+        return len(self._id_to_word)
+
+    @property
+    def unk_id(self) -> int:
+        """Id of the unknown-word token."""
+        return self._word_to_id[self.UNK]
+
+    @property
+    def eos_id(self) -> int:
+        """Id of the end-of-sequence token."""
+        return self._word_to_id[self.EOS]
+
+    def encode(self, text: str, add_eos: bool = True) -> np.ndarray:
+        """Encode a text string to an array of token ids."""
+        ids = [self._word_to_id.get(word, self.unk_id) for word in text.split()]
+        if add_eos:
+            ids.append(self.eos_id)
+        return np.asarray(ids, dtype=np.int64)
+
+    def decode(self, ids: Iterable[int]) -> str:
+        """Decode token ids back to a string."""
+        words = []
+        for token_id in ids:
+            if not 0 <= int(token_id) < self.vocab_size:
+                raise ValueError(f"token id {token_id} out of range")
+            words.append(self._id_to_word[int(token_id)])
+        return " ".join(words)

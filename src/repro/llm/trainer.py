@@ -1,0 +1,89 @@
+"""Training loop for the tiny language model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.llm.model import TinyLlamaModel
+from repro.nn.optim import Adam
+from repro.utils.validation import check_positive_int
+
+__all__ = ["Trainer", "TrainingResult"]
+
+
+@dataclass
+class TrainingResult:
+    """Loss trace of one training run."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last step (``inf`` if no steps ran)."""
+        return self.losses[-1] if self.losses else float("inf")
+
+    @property
+    def initial_loss(self) -> float:
+        """Loss of the first step (``inf`` if no steps ran)."""
+        return self.losses[0] if self.losses else float("inf")
+
+
+class Trainer:
+    """Adam training of :class:`~repro.llm.model.TinyLlamaModel` on a token
+    stream.
+
+    Parameters
+    ----------
+    model:
+        The model to train.
+    tokens:
+        Training token ids (1-D).
+    segment_length:
+        Length of the randomly sampled training segments.
+    learning_rate:
+        Adam learning rate.
+    seed:
+        Seed of the segment sampler.
+    """
+
+    def __init__(
+        self,
+        model: TinyLlamaModel,
+        tokens: np.ndarray,
+        segment_length: int = 64,
+        learning_rate: float = 3e-3,
+        seed: int = 0,
+    ) -> None:
+        self.model = model
+        self.tokens = np.asarray(tokens, dtype=np.int64)
+        check_positive_int(segment_length, "segment_length")
+        if segment_length + 1 > self.tokens.shape[0]:
+            raise ValueError("training stream shorter than one segment")
+        if segment_length > model.config.max_context + 1:
+            raise ValueError("segment_length exceeds the model context")
+        self.segment_length = segment_length
+        self.optimizer = Adam(model.parameters(), learning_rate=learning_rate)
+        self._rng = np.random.default_rng(seed)
+
+    def sample_segment(self) -> np.ndarray:
+        """Sample one training segment (length ``segment_length + 1``)."""
+        start = int(self._rng.integers(0, self.tokens.shape[0] - self.segment_length - 1))
+        return self.tokens[start : start + self.segment_length + 1]
+
+    def train(self, steps: int, log_every: Optional[int] = None) -> TrainingResult:
+        """Run ``steps`` optimisation steps and return the loss trace."""
+        check_positive_int(steps, "steps")
+        result = TrainingResult()
+        for step in range(steps):
+            segment = self.sample_segment()
+            self.optimizer.zero_grad()
+            loss = self.model.loss(segment)
+            loss.backward()
+            self.optimizer.step()
+            result.losses.append(loss.item())
+            if log_every and (step + 1) % log_every == 0:
+                print(f"step {step + 1:5d}  loss {loss.item():.4f}")
+        return result

@@ -1,0 +1,28 @@
+"""SoftmAP: mapping the integer-only softmax dataflow onto the AP.
+
+This package is the co-design half of the paper:
+
+* :mod:`repro.mapping.dataflow` — the 16-step dataflow of Fig. 5 with the
+  per-step operand widths of Fig. 4 / Table I;
+* :mod:`repro.mapping.softmap` — :class:`SoftmAPMapping`, which (a) executes
+  the dataflow on the functional 2D AP simulator to validate correctness and
+  (b) costs it with the Table II analytical model;
+* :mod:`repro.mapping.deployment` — the per-head deployment used for the
+  hardware characterization (one AP per attention head, Llama2 7b/13b/70b
+  area figures, per-invocation energy/latency).
+"""
+
+from repro.mapping.dataflow import DataflowStep, StepKind, softmax_dataflow
+from repro.mapping.softmap import SoftmAPMapping, MappingCost, StepCost
+from repro.mapping.deployment import ApDeployment, DeploymentSummary
+
+__all__ = [
+    "DataflowStep",
+    "StepKind",
+    "softmax_dataflow",
+    "SoftmAPMapping",
+    "MappingCost",
+    "StepCost",
+    "ApDeployment",
+    "DeploymentSummary",
+]

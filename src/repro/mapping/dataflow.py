@@ -1,0 +1,159 @@
+"""The sixteen-step SoftmAP dataflow (Fig. 5 of the paper).
+
+Each decoder-layer attention head owns one AP; the head's softmax input is
+laid out across the AP rows and the sixteen steps below are applied to all
+rows in parallel (bit-serially within each word).  Offline constants
+(``mu``, ``vln2``, ``vb``, ``vc``) only need to be written, not computed.
+
+:func:`softmax_dataflow` instantiates the steps for a given
+:class:`~repro.quant.precision.PrecisionConfig` and sequence length,
+annotating every step with the operand widths it reads and writes (the
+precisions shown in Fig. 4) so the cost model can translate them to cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.quant.precision import PrecisionConfig
+from repro.utils.bitwidth import bits_for_unsigned
+from repro.utils.validation import check_positive_int
+
+__all__ = ["StepKind", "DataflowStep", "softmax_dataflow"]
+
+
+class StepKind(str, Enum):
+    """Kind of an AP dataflow step; drives the cost-model dispatch."""
+
+    WRITE = "write"
+    SUBTRACT = "subtract"
+    ADD = "add"
+    MULTIPLY = "multiply"
+    COPY = "copy"
+    SHIFT = "shift"
+    REDUCTION = "reduction"
+    DIVIDE = "divide"
+
+
+@dataclass(frozen=True)
+class DataflowStep:
+    """One step of the SoftmAP dataflow.
+
+    Attributes
+    ----------
+    index:
+        Step number, 1-based, matching Fig. 5.
+    name:
+        Short description (as in Fig. 5).
+    kind:
+        The operation class used for cost dispatch.
+    width:
+        Precision (in bits) of the operand the operation works on.
+    aux_width:
+        Secondary width where relevant: the multiplier width for multiplies,
+        the shift-amount width for variable shifts, the divisor width for
+        the division, the number of reduced words for the reduction.
+    elementwise:
+        Whether the step applies to every stored word (and therefore repeats
+        for each word packed in a row) or is a cross-row operation.
+    produces:
+        Name of the value produced (for reporting).
+    """
+
+    index: int
+    name: str
+    kind: StepKind
+    width: int
+    aux_width: int = 0
+    elementwise: bool = True
+    produces: str = ""
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.index, "index")
+        check_positive_int(self.width, "width")
+        if self.aux_width < 0:
+            raise ValueError("aux_width must be >= 0")
+
+
+def max_shift_amount(precision: PrecisionConfig, vln2: Optional[int] = None) -> int:
+    """Largest possible shift ``q = floor(-vstable / vln2)`` for the given
+    precision: the most negative stabilised input is ``-(2**M - 1)``."""
+    if vln2 is None:
+        # For the clipping thresholds of the paper, vln2 = floor(ln2 / S)
+        # with S = |TC| / (2**M - 1); use that default.
+        from repro.quant.quantizer import default_clipping_threshold
+
+        scale = abs(default_clipping_threshold(precision.input_bits)) / (
+            2 ** precision.input_bits - 1
+        )
+        vln2 = int(math.floor(math.log(2.0) / scale))
+    vln2 = max(1, int(vln2))
+    return (2 ** precision.input_bits - 1) // vln2
+
+
+def softmax_dataflow(
+    precision: PrecisionConfig,
+    sequence_length: int,
+    vln2: Optional[int] = None,
+) -> List[DataflowStep]:
+    """Instantiate the sixteen steps of Fig. 5 for a precision/sequence.
+
+    Parameters
+    ----------
+    precision:
+        Mixed-precision configuration (drives every operand width).
+    sequence_length:
+        Number of softmax elements handled by the AP (it stores two words
+        per row, i.e. ``sequence_length / 2`` rows).
+    vln2:
+        The quantized ``ln 2``; defaults to the value implied by the
+        paper's clipping threshold for ``M``.
+    """
+    check_positive_int(sequence_length, "sequence_length")
+    m = precision.input_bits
+    shift_bits = max(1, bits_for_unsigned(max_shift_amount(precision, vln2)))
+    poly_width = precision.polynomial_bits
+    vapprox = precision.vapprox_bits
+    sum_width = precision.sum_bits
+    result_width = precision.result_column_bits
+
+    steps = [
+        DataflowStep(1, "Write v and max(v)", StepKind.WRITE, width=2 * m,
+                     produces="v, max(v)"),
+        DataflowStep(2, "Subtract v - max(v)", StepKind.SUBTRACT, width=m,
+                     produces="vstable"),
+        DataflowStep(3, "Write mu", StepKind.WRITE, width=2 * m, produces="mu"),
+        DataflowStep(4, "Multiply by mu and shift by 2M", StepKind.MULTIPLY,
+                     width=m, aux_width=2 * m, produces="q = floor(-vstable/vln2)"),
+        DataflowStep(5, "Write vln2", StepKind.WRITE, width=precision.vln2_bits,
+                     produces="vln2"),
+        DataflowStep(6, "Multiply q by vln2", StepKind.MULTIPLY, width=m,
+                     aux_width=precision.vln2_bits, produces="q * vln2"),
+        DataflowStep(7, "Subtract to obtain vcorr", StepKind.SUBTRACT,
+                     width=precision.vcorr_bits, produces="vcorr"),
+        DataflowStep(8, "Write vb", StepKind.WRITE, width=precision.vb_bits,
+                     produces="vb"),
+        DataflowStep(9, "Add vcorr + vb", StepKind.ADD, width=precision.vcorr_bits + 1,
+                     produces="vcorr + vb"),
+        DataflowStep(10, "Copy vcorr + vb", StepKind.COPY,
+                     width=precision.vcorr_bits + 1, produces="copy of vcorr + vb"),
+        DataflowStep(11, "Square vcorr + vb", StepKind.MULTIPLY,
+                     width=precision.vcorr_bits + 1,
+                     aux_width=precision.vcorr_bits + 1, produces="(vcorr+vb)^2"),
+        DataflowStep(12, "Write vc", StepKind.WRITE, width=precision.vc_bits,
+                     produces="vc"),
+        DataflowStep(13, "Add vc and shift by q", StepKind.SHIFT, width=poly_width,
+                     aux_width=shift_bits, produces="vapprox"),
+        DataflowStep(14, "Reduction of vapprox", StepKind.REDUCTION, width=vapprox,
+                     aux_width=sequence_length, elementwise=False,
+                     produces="sum(vapprox)"),
+        DataflowStep(15, "Copy the sum to all rows", StepKind.WRITE,
+                     width=sum_width, elementwise=False, produces="broadcast sum"),
+        DataflowStep(16, "Divide vapprox by the sum", StepKind.DIVIDE,
+                     width=result_width, aux_width=sum_width,
+                     produces="softmax output"),
+    ]
+    return steps

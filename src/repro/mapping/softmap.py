@@ -1,0 +1,344 @@
+"""SoftmAP: the integer softmax dataflow executed and costed on the AP.
+
+:class:`SoftmAPMapping` is the heart of the co-design reproduction.  It
+drives two views of the same Fig. 5 dataflow:
+
+* :meth:`SoftmAPMapping.cost` — the analytical view used for the paper's
+  hardware characterization: every step is translated to cycles via the
+  Table II formulas (plus documented formulas for copy/shift/divide) and to
+  energy via the 16 nm technology parameters.
+* :meth:`SoftmAPMapping.execute_functional` — the functional view: the same
+  steps are executed on the bit-level 2D AP simulator
+  (:class:`~repro.ap.processor2d.AssociativeProcessor2D`) for one softmax
+  vector, and the result is bit-identical to the pure-software
+  :class:`~repro.softmax.integer_softmax.IntegerSoftmax` pipeline (checked
+  in the integration tests).
+
+To keep the hardware free of signed arithmetic the functional mapping tracks
+``z = max(v) - v = -vstable`` (non-negative) and evaluates the polynomial as
+``(vb - (z mod vln2))**2 + vc``, which is algebraically identical to
+Algorithm 1 because ``vcorr = -(z mod vln2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ap.cost import ApCostModel, OperationCost
+from repro.ap.processor2d import AssociativeProcessor2D
+from repro.ap.tech import TECH_16NM, TechnologyParameters
+from repro.mapping.dataflow import DataflowStep, StepKind, max_shift_amount, softmax_dataflow
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.quant.quantizer import ClippedSoftmaxInputQuantizer
+from repro.softmax.polynomial import IExpPolynomial
+from repro.utils.bitwidth import bits_for_unsigned
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = ["SoftmAPMapping", "MappingCost", "StepCost"]
+
+
+@dataclass(frozen=True)
+class StepCost:
+    """Cost of one dataflow step."""
+
+    step: DataflowStep
+    cost: OperationCost
+
+
+@dataclass(frozen=True)
+class MappingCost:
+    """Aggregate cost of one softmax pass on one AP."""
+
+    steps: List[StepCost]
+    total: OperationCost
+    rows: int
+    columns: int
+    area_mm2: float
+
+    @property
+    def cycles(self) -> float:
+        """Total compare/write cycles of the pass."""
+        return self.total.cycles
+
+    @property
+    def latency_s(self) -> float:
+        """Latency of the pass in seconds."""
+        return self.total.latency_s
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the pass in joules."""
+        return self.total.energy_j
+
+
+class SoftmAPMapping:
+    """Mapping of the integer-only softmax onto one per-head 2D AP.
+
+    Parameters
+    ----------
+    precision:
+        Mixed-precision configuration (defaults to the paper's best:
+        ``M=6``, ``vcorr=M``, ``N=16``).
+    sequence_length:
+        Number of softmax elements; the AP stores ``words_per_row`` words
+        per row, so it has ``sequence_length / words_per_row`` rows.
+    words_per_row:
+        Words packed per CAM row (2 in the paper).
+    columns:
+        Bit columns per row (operand fields A/B, the ``2M+12`` result column
+        and scratch); 64 by default, which reproduces the paper's per-head
+        area of ~0.02 mm^2 at 16 nm.
+    tech:
+        Technology parameters.
+    division:
+        ``"restoring"`` (bit-serial restoring division, default) or
+        ``"reciprocal"`` (the controller computes one reciprocal of the sum
+        and the AP multiplies by it) — an ablation of the last step.
+    clip_threshold:
+        Softmax input clipping threshold; defaults to the paper's per-``M``
+        value.
+    """
+
+    def __init__(
+        self,
+        precision: PrecisionConfig = BEST_PRECISION,
+        sequence_length: int = 2048,
+        words_per_row: int = 2,
+        columns: int = 64,
+        tech: TechnologyParameters = TECH_16NM,
+        division: str = "restoring",
+        clip_threshold: Optional[float] = None,
+    ) -> None:
+        self.precision = precision
+        self.sequence_length = check_positive_int(sequence_length, "sequence_length")
+        self.words_per_row = check_positive_int(words_per_row, "words_per_row")
+        if self.words_per_row not in (1, 2):
+            raise ValueError("words_per_row must be 1 or 2")
+        self.columns = check_positive_int(columns, "columns")
+        self.tech = tech
+        self.division = check_in_choices(
+            division, ("restoring", "reciprocal"), "division"
+        )
+        self.quantizer = ClippedSoftmaxInputQuantizer(
+            bits=precision.input_bits, clip_threshold=clip_threshold
+        )
+        self.polynomial = IExpPolynomial(
+            input_bits=precision.input_bits, barrett_correction=False
+        )
+        self.constants = self.polynomial.constants(self.quantizer.scale)
+        self.rows = max(1, self.sequence_length // self.words_per_row)
+        self.cost_model = ApCostModel(rows=self.rows, columns=self.columns, tech=tech)
+
+    # ------------------------------------------------------------------ #
+    # Analytical cost                                                      #
+    # ------------------------------------------------------------------ #
+    def steps(self) -> List[DataflowStep]:
+        """The sixteen dataflow steps for this configuration."""
+        return softmax_dataflow(
+            self.precision, self.sequence_length, vln2=self.constants.vln2
+        )
+
+    def cost(self) -> MappingCost:
+        """Cost every step with the Table II / technology model."""
+        step_costs: List[StepCost] = []
+        total = OperationCost.zero("softmap")
+        for step in self.steps():
+            cost = self._step_cost(step)
+            if step.elementwise and self.words_per_row > 1:
+                cost = cost.scaled(self.words_per_row, name=cost.name)
+            step_costs.append(StepCost(step=step, cost=cost))
+            total = total + cost
+        total = OperationCost(
+            name="softmap-pass",
+            cycles=total.cycles,
+            latency_s=total.latency_s,
+            energy_j=total.energy_j,
+        )
+        return MappingCost(
+            steps=step_costs,
+            total=total,
+            rows=self.rows,
+            columns=self.columns,
+            area_mm2=self.cost_model.area_mm2(),
+        )
+
+    def _step_cost(self, step: DataflowStep) -> OperationCost:
+        model = self.cost_model
+        if step.kind is StepKind.WRITE:
+            return model.write(step.width)
+        if step.kind is StepKind.SUBTRACT:
+            return model.subtraction(step.width)
+        if step.kind is StepKind.ADD:
+            return model.addition(step.width)
+        if step.kind is StepKind.COPY:
+            return model.copy(step.width)
+        if step.kind is StepKind.MULTIPLY:
+            multiplier = step.aux_width if step.aux_width else step.width
+            cycles = self.multiplication_cycles_general(step.width, multiplier)
+            return model.cost_from_cycles(
+                f"mul[{step.width}x{multiplier}b]", cycles
+            )
+        if step.kind is StepKind.SHIFT:
+            addition = model.addition(step.width)
+            shift = model.variable_shift(step.width, step.aux_width)
+            combined = addition + shift
+            return OperationCost(
+                name=f"add+shift[{step.width}b]",
+                cycles=combined.cycles,
+                latency_s=combined.latency_s,
+                energy_j=combined.energy_j,
+            )
+        if step.kind is StepKind.REDUCTION:
+            return model.reduction(step.width, words=step.aux_width)
+        if step.kind is StepKind.DIVIDE:
+            return self._division_cost(step)
+        raise ValueError(f"unknown step kind {step.kind!r}")
+
+    def multiplication_cycles_general(self, width: int, multiplier_bits: int) -> int:
+        """Table II multiplication generalised to unequal operand widths:
+        ``2*width`` operand cycles, ``8*width*multiplier`` shift-add cycles
+        and ``2*width`` result handling (reduces to ``2M + 8M^2 + 2M`` when
+        both operands are ``M`` bits wide)."""
+        check_positive_int(width, "width")
+        check_positive_int(multiplier_bits, "multiplier_bits")
+        return 2 * width + 8 * width * multiplier_bits + 2 * width
+
+    def _division_cost(self, step: DataflowStep) -> OperationCost:
+        model = self.cost_model
+        vapprox = self.precision.vapprox_bits
+        fraction = max(0, step.width - vapprox)
+        if self.division == "restoring":
+            return model.division(
+                dividend_bits=vapprox,
+                divisor_bits=step.aux_width,
+                fraction_bits=fraction,
+            )
+        # Reciprocal mode: the controller computes 1/sum once (off the CAM
+        # critical path) and the AP multiplies vapprox by the reciprocal in
+        # ``result_column_bits`` fixed-point precision.
+        cycles = self.multiplication_cycles_general(vapprox, step.width)
+        return model.cost_from_cycles(f"recip-mul[{vapprox}x{step.width}b]", cycles)
+
+    # ------------------------------------------------------------------ #
+    # Functional execution                                                 #
+    # ------------------------------------------------------------------ #
+    def execute_functional(
+        self, scores: np.ndarray, output_fraction_bits: Optional[int] = None
+    ) -> np.ndarray:
+        """Execute the dataflow on the functional 2D AP for one vector.
+
+        Parameters
+        ----------
+        scores:
+            One softmax input vector (floating point logits).
+        output_fraction_bits:
+            Fractional bits of the normalised output; defaults to the
+            ``2M + 12`` result-column width.
+
+        Returns
+        -------
+        The softmax probabilities computed entirely by CAM compare/write
+        passes (one word per row; correctness is what matters here, the
+        packing factor only affects the analytical cost).
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 1:
+            raise ValueError("execute_functional processes one vector at a time")
+        if output_fraction_bits is None:
+            output_fraction_bits = self.precision.result_column_bits
+        check_positive_int(output_fraction_bits, "output_fraction_bits")
+
+        constants = self.constants
+        m = self.precision.input_bits
+        quantized = self.quantizer.quantize(scores, stabilise=True)
+        z = (-quantized.values).astype(np.int64)  # z = -vstable >= 0
+        n = len(z)
+
+        shift_bits = max(1, bits_for_unsigned(max_shift_amount(self.precision, constants.vln2)))
+        mu_bits = max(1, bits_for_unsigned(constants.mu))
+        product_bits = m + mu_bits
+        q_bits = max(1, product_bits - 2 * m) + 1
+        vb_bits = max(1, bits_for_unsigned(constants.vb))
+        vc_bits = max(1, bits_for_unsigned(constants.vc))
+        poly_bits = 2 * (vb_bits + 1) + max(vc_bits - 2 * vb_bits, 0) + 2
+        vapprox_bits = poly_bits
+        sum_bits = vapprox_bits + max(1, bits_for_unsigned(max(n - 1, 1)))
+        out_bits = vapprox_bits + output_fraction_bits
+
+        columns_needed = (
+            m                      # z
+            + m                    # max / vln2 scratch
+            + mu_bits              # mu
+            + product_bits         # z * mu
+            + q_bits * 2 + 4       # q and q * vln2
+            + 2 * (vb_bits + 1)    # vb - r and its copy
+            + poly_bits            # polynomial
+            + vc_bits
+            + vapprox_bits
+            + sum_bits * 2
+            + out_bits
+            + sum_bits + 2         # division remainder
+            + 8
+        )
+        ap = AssociativeProcessor2D(rows=n, columns=columns_needed)
+
+        # Step 1: write v (as z) and max(v); step 2 is already folded into z
+        # because the functional mapping tracks the non-negative magnitude.
+        z_field = ap.allocate_field("z", m)
+        ap.write_field(z_field, z)
+
+        # Steps 3-4: Barrett quotient q = (z * mu) >> 2M.
+        mu_field = ap.allocate_field("mu", mu_bits)
+        ap.write_constant(mu_field, constants.mu)
+        product = ap.allocate_field("z_mu", product_bits)
+        ap.multiply(z_field, mu_field, product)
+        q_view = ap.shifted_view(product, 2 * m, name="q")
+
+        # Steps 5-6: q * vln2 (the field is sized for the actual constant;
+        # Table I budgets 4 bits, which holds for M <= 6 with the paper's
+        # clipping thresholds).
+        vln2_field = ap.allocate_field("vln2", max(4, bits_for_unsigned(constants.vln2)))
+        ap.write_constant(vln2_field, constants.vln2)
+        q_field = ap.allocate_field("q", q_bits)
+        ap.copy(q_view, q_field)
+        q_vln2 = ap.allocate_field("q_vln2", q_bits + vln2_field.bits)
+        ap.multiply(q_field, vln2_field, q_vln2)
+
+        # Step 7: r = z - q*vln2 = z mod vln2 (so vcorr = -r).
+        r_field = ap.allocate_field("r", m)
+        ap.copy(z_field, r_field)
+        ap.subtract(r_field, q_vln2)
+
+        # Steps 8-9: w = vb - r  (= vcorr + vb).
+        w_field = ap.allocate_field("w", vb_bits + 1)
+        ap.write_constant(w_field, constants.vb)
+        ap.subtract(w_field, r_field)
+
+        # Steps 10-11: copy w, then square it (the copy is the dataflow's
+        # explicit step 10 — multiplicand and multiplier predicate must live
+        # in different columns).
+        w_copy = ap.allocate_field("w_copy", vb_bits + 1)
+        square = ap.allocate_field("w_sq", poly_bits)
+        ap.square(w_field, w_copy, square)
+
+        # Step 12-13: add vc, then shift right by q.
+        vc_field = ap.allocate_field("vc", vc_bits)
+        ap.write_constant(vc_field, constants.vc)
+        ap.add(vc_field, square)
+        vapprox = ap.allocate_field("vapprox", vapprox_bits)
+        ap.shift_right_variable(square, q_field, vapprox, max_shift_bits=min(shift_bits, q_field.bits))
+
+        # Steps 14-15: reduction and broadcast of the sum.
+        total = ap.allocate_field("sum", sum_bits)
+        ap.reduce_and_broadcast(vapprox, total)
+
+        # Step 16: divide (fixed point with output_fraction_bits fraction).
+        quotient = ap.allocate_field("out", out_bits)
+        remainder = ap.allocate_field("rem", sum_bits + 1)
+        ap.divide(vapprox, total, quotient, remainder, fraction_bits=output_fraction_bits)
+
+        out = ap.read_field(quotient).astype(np.float64)
+        return out * (2.0 ** -output_fraction_bits)

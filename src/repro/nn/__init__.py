@@ -1,0 +1,44 @@
+"""Minimal numpy neural-network substrate.
+
+The perplexity sensitivity study (Tables III/IV) needs a language model that
+can be (a) trained offline so its output distribution is meaningful and
+(b) evaluated with the floating-point softmax swapped for the integer-only
+approximation.  The paper uses the Llama2 checkpoints via PyTorch; this
+reproduction builds the substrate from scratch:
+
+* :mod:`repro.nn.autograd` — a small reverse-mode automatic differentiation
+  engine over numpy arrays (:class:`Tensor`);
+* :mod:`repro.nn.functional` — the operations a Llama-style block needs
+  (matmul, RMSNorm, SiLU, causal softmax attention, cross entropy);
+* :mod:`repro.nn.optim` — Adam.
+"""
+
+from repro.nn.autograd import Tensor, Parameter, no_grad
+from repro.nn.functional import (
+    add,
+    mul,
+    matmul,
+    scale,
+    rms_norm,
+    silu,
+    softmax_op,
+    embedding,
+    cross_entropy,
+)
+from repro.nn.optim import Adam
+
+__all__ = [
+    "Tensor",
+    "Parameter",
+    "no_grad",
+    "add",
+    "mul",
+    "matmul",
+    "scale",
+    "rms_norm",
+    "silu",
+    "softmax_op",
+    "embedding",
+    "cross_entropy",
+    "Adam",
+]

@@ -1,0 +1,173 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A deliberately small engine: a :class:`Tensor` wraps a numpy array, records
+the operation that produced it and its parents, and :meth:`Tensor.backward`
+walks the graph in reverse topological order accumulating gradients.  Only
+the operations the tiny Llama-style model needs are implemented (in
+:mod:`repro.nn.functional`); each operation supplies its own backward
+closure, so the engine itself stays generic.
+
+Gradient checking against finite differences lives in the test suite
+(``tests/nn/test_autograd.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "Parameter", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = [True]
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (used for evaluation)."""
+    _GRAD_ENABLED.append(False)
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED.pop()
+
+
+def is_grad_enabled() -> bool:
+    """Whether newly created tensors will record the autograd graph."""
+    return _GRAD_ENABLED[-1]
+
+
+class Tensor:
+    """A numpy array plus the bookkeeping needed for backpropagation.
+
+    Parameters
+    ----------
+    data:
+        The underlying value (converted to a float64 numpy array).
+    parents:
+        Tensors this one was computed from.
+    backward_fn:
+        Callable receiving the upstream gradient and returning one gradient
+        per parent (or ``None`` for parents that do not need one).
+    requires_grad:
+        Whether gradients should be accumulated into this tensor.
+    name:
+        Optional label for debugging.
+    """
+
+    def __init__(
+        self,
+        data,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Optional[Callable[[np.ndarray], Sequence[Optional[np.ndarray]]]] = None,
+        requires_grad: bool = False,
+        name: str = "",
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.parents: List[Tensor] = list(parents) if is_grad_enabled() else []
+        self.backward_fn = backward_fn if is_grad_enabled() else None
+        self.requires_grad = bool(requires_grad) or any(
+            p.requires_grad for p in self.parents
+        )
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                        #
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    def item(self) -> float:
+        """The scalar value of a 0-d / single-element tensor."""
+        return float(self.data.reshape(-1)[0])
+
+    def numpy(self) -> np.ndarray:
+        """The underlying numpy array (not a copy)."""
+        return self.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.data.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------ #
+    # Backpropagation                                                      #
+    # ------------------------------------------------------------------ #
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if gradient is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient needs a scalar output")
+            gradient = np.ones_like(self.data)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {gradient.shape} does not match tensor shape {self.data.shape}"
+            )
+
+        # Children are processed before their parents (reverse topological
+        # order), so every upstream gradient is complete when it is consumed.
+        order = self._topological_order()
+        grads = {id(self): gradient}
+        for tensor in reversed(order):
+            upstream = grads.pop(id(tensor), None)
+            if upstream is None:
+                continue
+            if tensor.requires_grad:
+                tensor.grad = upstream if tensor.grad is None else tensor.grad + upstream
+            if tensor.backward_fn is None:
+                continue
+            parent_grads = tensor.backward_fn(upstream)
+            if len(parent_grads) != len(tensor.parents):
+                raise RuntimeError(
+                    f"backward of {tensor.name or 'op'} returned "
+                    f"{len(parent_grads)} gradients for {len(tensor.parents)} parents"
+                )
+            for parent, parent_grad in zip(tensor.parents, parent_grads):
+                if parent_grad is None:
+                    continue
+                parent_grad = np.asarray(parent_grad, dtype=np.float64)
+                if parent_grad.shape != parent.data.shape:
+                    raise RuntimeError(
+                        f"gradient shape {parent_grad.shape} does not match parent "
+                        f"shape {parent.data.shape} in op {tensor.name or 'op'}"
+                    )
+                key = id(parent)
+                grads[key] = parent_grad if key not in grads else grads[key] + parent_grad
+
+    def _topological_order(self) -> List["Tensor"]:
+        """Topological order with parents before children (iterative DFS
+        post-order, so deep graphs do not hit the recursion limit)."""
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[tuple] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node.parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        return order
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+
+class Parameter(Tensor):
+    """A trainable tensor (``requires_grad=True`` and kept out of no_grad)."""
+
+    def __init__(self, data, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+        # Parameters must keep requires_grad even when created inside a
+        # no_grad block (e.g. lazily initialised weights).
+        self.requires_grad = True

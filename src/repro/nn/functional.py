@@ -1,0 +1,178 @@
+"""Differentiable operations for the tiny Llama-style model.
+
+Each function builds a :class:`~repro.nn.autograd.Tensor` whose backward
+closure computes the exact gradients; the test suite checks every operation
+against central finite differences.  Shapes are kept two-dimensional
+(``tokens x features``) — the model loops over batch elements and attention
+heads, which keeps the engine free of reshape/transpose bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.autograd import Tensor
+
+__all__ = [
+    "add",
+    "mul",
+    "scale",
+    "matmul",
+    "rms_norm",
+    "silu",
+    "softmax_op",
+    "embedding",
+    "cross_entropy",
+]
+
+
+def _unbroadcast(gradient: np.ndarray, shape) -> np.ndarray:
+    """Sum ``gradient`` down to ``shape`` (reverse of numpy broadcasting)."""
+    grad = gradient
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) addition."""
+    out = a.data + b.data
+
+    def backward(upstream):
+        return _unbroadcast(upstream, a.data.shape), _unbroadcast(upstream, b.data.shape)
+
+    return Tensor(out, parents=(a, b), backward_fn=backward, name="add")
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise (broadcasting) multiplication."""
+    out = a.data * b.data
+
+    def backward(upstream):
+        return (
+            _unbroadcast(upstream * b.data, a.data.shape),
+            _unbroadcast(upstream * a.data, b.data.shape),
+        )
+
+    return Tensor(out, parents=(a, b), backward_fn=backward, name="mul")
+
+
+def scale(a: Tensor, factor: float) -> Tensor:
+    """Multiplication by a Python scalar."""
+    factor = float(factor)
+    out = a.data * factor
+
+    def backward(upstream):
+        return (upstream * factor,)
+
+    return Tensor(out, parents=(a,), backward_fn=backward, name="scale")
+
+
+def matmul(a: Tensor, b: Tensor, transpose_b: bool = False) -> Tensor:
+    """Matrix product ``a @ b`` (or ``a @ b.T`` when ``transpose_b``)."""
+    b_data = b.data.T if transpose_b else b.data
+    out = a.data @ b_data
+
+    def backward(upstream):
+        grad_a = upstream @ b_data.T
+        if transpose_b:
+            grad_b = upstream.T @ a.data
+        else:
+            grad_b = a.data.T @ upstream
+        return grad_a, grad_b
+
+    return Tensor(out, parents=(a, b), backward_fn=backward, name="matmul")
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    """Root-mean-square layer normalisation (as used by Llama).
+
+    ``y = x / sqrt(mean(x**2, axis=-1) + eps) * weight``
+    """
+    mean_square = np.mean(x.data ** 2, axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(mean_square + eps)
+    normalised = x.data * inv_rms
+    out = normalised * weight.data
+
+    def backward(upstream):
+        d = x.data.shape[-1]
+        grad_norm = upstream * weight.data
+        # d/dx of x * inv_rms with inv_rms depending on x.
+        dot = np.sum(grad_norm * x.data, axis=-1, keepdims=True)
+        grad_x = grad_norm * inv_rms - x.data * (inv_rms ** 3) * dot / d
+        grad_weight = _unbroadcast(upstream * normalised, weight.data.shape)
+        return grad_x, grad_weight
+
+    return Tensor(out, parents=(x, weight), backward_fn=backward, name="rms_norm")
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU (swish) activation ``x * sigmoid(x)``."""
+    sigmoid = 1.0 / (1.0 + np.exp(-x.data))
+    out = x.data * sigmoid
+
+    def backward(upstream):
+        grad = sigmoid * (1.0 + x.data * (1.0 - sigmoid))
+        return (upstream * grad,)
+
+    return Tensor(out, parents=(x,), backward_fn=backward, name="silu")
+
+
+def softmax_op(x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Softmax along the last axis with an optional additive mask.
+
+    ``mask`` is a constant numpy array (e.g. the causal mask filled with
+    ``-inf`` above the diagonal) added to the logits before normalisation.
+    """
+    logits = x.data if mask is None else x.data + mask
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    probabilities = exp / np.sum(exp, axis=-1, keepdims=True)
+
+    def backward(upstream):
+        dot = np.sum(upstream * probabilities, axis=-1, keepdims=True)
+        return (probabilities * (upstream - dot),)
+
+    return Tensor(probabilities, parents=(x,), backward_fn=backward, name="softmax")
+
+
+def embedding(table: Tensor, indices: np.ndarray) -> Tensor:
+    """Row gather ``table[indices]`` with scatter-add backward."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = table.data[indices]
+
+    def backward(upstream):
+        grad_table = np.zeros_like(table.data)
+        np.add.at(grad_table, indices, upstream)
+        return (grad_table,)
+
+    return Tensor(out, parents=(table,), backward_fn=backward, name="embedding")
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy of ``logits`` (tokens x vocab) against integer
+    ``targets`` (tokens,)."""
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.data.ndim != 2:
+        raise ValueError("cross_entropy expects 2-D logits (tokens x vocab)")
+    if targets.shape != (logits.data.shape[0],):
+        raise ValueError("targets must have one entry per logits row")
+    shifted = logits.data - np.max(logits.data, axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+    n = logits.data.shape[0]
+    loss = -np.mean(log_probs[np.arange(n), targets])
+
+    def backward(upstream):
+        probabilities = np.exp(log_probs)
+        grad = probabilities.copy()
+        grad[np.arange(n), targets] -= 1.0
+        grad /= n
+        return (float(upstream) * grad,)
+
+    return Tensor(np.asarray(loss), parents=(logits,), backward_fn=backward,
+                  name="cross_entropy")

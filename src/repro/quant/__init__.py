@@ -1,0 +1,45 @@
+"""Quantization substrate.
+
+The SoftmAP software contribution operates on *quantized* softmax inputs:
+attention scores are clipped to ``[TC, 0]`` (the paper uses ``TC = -7`` for
+``M`` of 6 or 8 bits and ``TC = -4`` for 4 bits) and mapped to integers with
+a scaling factor ``S`` that is fixed offline.  This package provides:
+
+* :class:`~repro.quant.quantizer.SymmetricQuantizer` — classic symmetric
+  max-abs quantization used for generic tensors.
+* :class:`~repro.quant.quantizer.ClippedSoftmaxInputQuantizer` — the clipped
+  non-positive quantizer the paper applies to softmax inputs.
+* :class:`~repro.quant.precision.PrecisionConfig` — a mixed-precision
+  configuration (``M``, ``vcorr`` width, ``N``) that derives every
+  intermediate bit width of Table I.
+"""
+
+from repro.quant.quantizer import (
+    QuantizedTensor,
+    SymmetricQuantizer,
+    ClippedSoftmaxInputQuantizer,
+    default_clipping_threshold,
+)
+from repro.quant.precision import (
+    PrecisionConfig,
+    PrecisionTableEntry,
+    table_i,
+    TABLE_I_M_VALUES,
+    TABLE_I_N_VALUES,
+    TABLE_I_VCORR_DELTAS,
+    BEST_PRECISION,
+)
+
+__all__ = [
+    "QuantizedTensor",
+    "SymmetricQuantizer",
+    "ClippedSoftmaxInputQuantizer",
+    "default_clipping_threshold",
+    "PrecisionConfig",
+    "PrecisionTableEntry",
+    "table_i",
+    "TABLE_I_M_VALUES",
+    "TABLE_I_N_VALUES",
+    "TABLE_I_VCORR_DELTAS",
+    "BEST_PRECISION",
+]

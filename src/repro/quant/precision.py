@@ -1,0 +1,204 @@
+"""Mixed-precision configurations (Table I of the paper).
+
+The paper sweeps three knobs:
+
+* ``M`` — bit width of the quantized softmax input ``v`` (4, 6 or 8);
+* the width of ``vcorr`` — ``M``, ``M+1`` or ``M+2`` bits (we store the
+  difference as ``vcorr_delta`` in {0, 1, 2});
+* ``N`` — the number of *additional* bits allocated to accumulate the sum
+  of the approximated exponentials (8, 12, 16 or 20).  When ``N`` is smaller
+  than ``log2(SequenceLength / 2)`` the accumulator saturates and the
+  normalisation degrades, which is exactly the effect Tables III/IV show.
+
+:class:`PrecisionConfig` derives all intermediate bit widths of Table I from
+those three values, and :func:`table_i` regenerates the full table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = [
+    "PrecisionConfig",
+    "PrecisionTableEntry",
+    "table_i",
+    "TABLE_I_M_VALUES",
+    "TABLE_I_N_VALUES",
+    "TABLE_I_VCORR_DELTAS",
+    "BEST_PRECISION",
+]
+
+#: Input bit widths swept by Table I.
+TABLE_I_M_VALUES: Tuple[int, ...] = (4, 6, 8)
+#: Extra sum bits swept by Table I.
+TABLE_I_N_VALUES: Tuple[int, ...] = (8, 12, 16, 20)
+#: ``vcorr`` width offsets (vcorr = M + delta) swept by Table I.
+TABLE_I_VCORR_DELTAS: Tuple[int, ...] = (0, 1, 2)
+
+#: Bit width of ``vln2 = floor(ln 2 / S)``; fixed at 4 bits in the paper.
+VLN2_BITS: int = 4
+
+
+@dataclass(frozen=True)
+class PrecisionConfig:
+    """A mixed-precision configuration of Algorithm 1.
+
+    Parameters
+    ----------
+    input_bits:
+        ``M`` — bits of the quantized input ``v``.
+    vcorr_delta:
+        ``vcorr`` is stored in ``M + vcorr_delta`` bits (0, 1 or 2).
+    sum_extra_bits:
+        ``N`` — extra bits allocated to the accumulator for
+        ``sum(vapprox)`` on top of the width of a single ``vapprox`` term.
+    """
+
+    input_bits: int = 6
+    vcorr_delta: int = 0
+    sum_extra_bits: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.input_bits, "input_bits")
+        if self.input_bits < 2:
+            raise ValueError("input_bits must be >= 2")
+        if self.vcorr_delta not in (0, 1, 2):
+            raise ValueError(
+                f"vcorr_delta must be 0, 1 or 2, got {self.vcorr_delta}"
+            )
+        check_positive_int(self.sum_extra_bits, "sum_extra_bits")
+
+    # ------------------------------------------------------------------ #
+    # Derived bit widths (Table I rows)                                   #
+    # ------------------------------------------------------------------ #
+    @property
+    def v_bits(self) -> int:
+        """Width of the quantized input ``v`` (= M)."""
+        return self.input_bits
+
+    @property
+    def vstable_bits(self) -> int:
+        """Width of ``vstable = v - max(v)`` (= M; values stay in range)."""
+        return self.input_bits
+
+    @property
+    def vln2_bits(self) -> int:
+        """Width of ``vln2 = floor(ln2 / S)`` (4 bits in the paper)."""
+        return VLN2_BITS
+
+    @property
+    def vb_bits(self) -> int:
+        """Width of ``vb = floor(b / S)`` (= M)."""
+        return self.input_bits
+
+    @property
+    def vc_bits(self) -> int:
+        """Width of ``vc = floor(c / (a S^2))`` (= 2M)."""
+        return 2 * self.input_bits
+
+    @property
+    def vcorr_bits(self) -> int:
+        """Width of the polynomial argument ``vcorr`` (= M + delta)."""
+        return self.input_bits + self.vcorr_delta
+
+    @property
+    def polynomial_bits(self) -> int:
+        """Width of ``(vcorr + vb)^2 + vc``.
+
+        ``vcorr + vb`` needs ``vcorr_bits + 1`` bits, its square twice that,
+        and adding ``vc`` (2M bits) one more: ``2 * (vcorr_bits + 1) + 1``.
+        This reproduces the 11/15/19 (+2 per extra vcorr bit) row of
+        Table I.
+        """
+        return 2 * (self.vcorr_bits + 1) + 1
+
+    @property
+    def vapprox_bits(self) -> int:
+        """Width of the shifted polynomial output ``vapprox``.
+
+        Table I reports ``M + 6 + 2 * delta`` (10/12/14 for ``vcorr = M``),
+        i.e. the polynomial width minus the guaranteed minimum shift of
+        ``M - 3`` positions for in-range inputs.
+        """
+        return self.input_bits + 6 + 2 * self.vcorr_delta
+
+    @property
+    def sum_bits(self) -> int:
+        """Width of the accumulator for ``sum(vapprox)`` (= vapprox + N)."""
+        return self.vapprox_bits + self.sum_extra_bits
+
+    @property
+    def result_column_bits(self) -> int:
+        """Width of the AP result column ``R`` (Fig. 4): ``2M + 12``."""
+        return 2 * self.input_bits + 12
+
+    # ------------------------------------------------------------------ #
+    # Convenience                                                         #
+    # ------------------------------------------------------------------ #
+    def required_sum_bits_for_sequence(self, sequence_length: int) -> int:
+        """Extra sum bits needed to accumulate ``sequence_length / 2`` terms
+        per AP without saturation (``N = log2(SequenceLength / 2)``)."""
+        check_positive_int(sequence_length, "sequence_length")
+        terms = max(1, sequence_length // 2)
+        return max(1, (terms - 1).bit_length())
+
+    def as_dict(self) -> Dict[str, int]:
+        """All Table I widths for this configuration."""
+        return {
+            "M": self.input_bits,
+            "v": self.v_bits,
+            "vstable": self.vstable_bits,
+            "vln2": self.vln2_bits,
+            "vb": self.vb_bits,
+            "vc": self.vc_bits,
+            "vcorr": self.vcorr_bits,
+            "(vcorr+vb)^2+vc": self.polynomial_bits,
+            "vapprox": self.vapprox_bits,
+            "N": self.sum_extra_bits,
+            "sum": self.sum_bits,
+        }
+
+    def label(self) -> str:
+        """Short human-readable label, e.g. ``M=6, vcorr=M, N=16``."""
+        delta = {0: "M", 1: "M+1", 2: "M+2"}[self.vcorr_delta]
+        return f"M={self.input_bits}, vcorr={delta}, N={self.sum_extra_bits}"
+
+
+#: The "best precision combination" selected in Section V-A of the paper:
+#: lowest perplexity with the lowest bit widths across all three Llama
+#: models (``vcorr = M``, ``M = 6``, ``N = 16``).
+BEST_PRECISION = PrecisionConfig(input_bits=6, vcorr_delta=0, sum_extra_bits=16)
+
+
+@dataclass(frozen=True)
+class PrecisionTableEntry:
+    """One column of Table I: a configuration plus all derived widths."""
+
+    config: PrecisionConfig
+    widths: Dict[str, int]
+
+
+def table_i() -> List[PrecisionTableEntry]:
+    """Regenerate every column of Table I.
+
+    The table enumerates ``vcorr_delta`` (outer), ``M`` (inner) and, for the
+    ``sum`` row, every ``N``; one entry is produced per (delta, M) pair and
+    its ``widths`` dict contains a ``sum(N=...)`` key per value of ``N``.
+    """
+    entries: List[PrecisionTableEntry] = []
+    for delta in TABLE_I_VCORR_DELTAS:
+        for m in TABLE_I_M_VALUES:
+            base = PrecisionConfig(input_bits=m, vcorr_delta=delta,
+                                   sum_extra_bits=TABLE_I_N_VALUES[0])
+            widths = base.as_dict()
+            widths.pop("N")
+            widths.pop("sum")
+            for n in TABLE_I_N_VALUES:
+                cfg = PrecisionConfig(input_bits=m, vcorr_delta=delta,
+                                      sum_extra_bits=n)
+                widths[f"sum(N={n})"] = cfg.sum_bits
+            entries.append(PrecisionTableEntry(config=base, widths=widths))
+    return entries

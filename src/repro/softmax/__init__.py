@@ -1,0 +1,53 @@
+"""Integer-only softmax (the paper's software contribution).
+
+Modules
+-------
+:mod:`repro.softmax.reference`
+    Numerically stable floating-point softmax / log-softmax used as the
+    accuracy baseline ("FP Softmax" in the paper's tables).
+:mod:`repro.softmax.barrett`
+    Barrett reduction — computing a quotient/remainder by a fixed divisor
+    using only multiplications and shifts (line 6/7 of Algorithm 1).
+:mod:`repro.softmax.polynomial`
+    The I-BERT second-order integer polynomial approximation of ``exp`` on
+    ``(-ln 2, 0]`` (lines 8-11 of Algorithm 1).
+:mod:`repro.softmax.integer_softmax`
+    :class:`IntegerSoftmax` — the full Algorithm 1 pipeline with a
+    mixed-precision :class:`~repro.quant.precision.PrecisionConfig`,
+    saturating sum accumulator and integer normalisation.
+:mod:`repro.softmax.metrics`
+    Error metrics between the approximated and reference softmax.
+"""
+
+from repro.softmax.reference import softmax, log_softmax, float_iexp_softmax
+from repro.softmax.barrett import BarrettReducer
+from repro.softmax.polynomial import IExpPolynomial, IExpConstants
+from repro.softmax.integer_softmax import (
+    IntegerSoftmax,
+    IntegerSoftmaxResult,
+    integer_softmax,
+)
+from repro.softmax.metrics import (
+    max_abs_error,
+    mean_abs_error,
+    mean_squared_error,
+    kl_divergence,
+    cosine_similarity,
+)
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "float_iexp_softmax",
+    "BarrettReducer",
+    "IExpPolynomial",
+    "IExpConstants",
+    "IntegerSoftmax",
+    "IntegerSoftmaxResult",
+    "integer_softmax",
+    "max_abs_error",
+    "mean_abs_error",
+    "mean_squared_error",
+    "kl_divergence",
+    "cosine_similarity",
+]

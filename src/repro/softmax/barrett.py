@@ -1,0 +1,105 @@
+"""Barrett reduction.
+
+Algorithm 1 needs the quotient and remainder of ``-vstable`` by the fixed
+divisor ``vln2 = floor(ln2 / S)``.  A hardware division would be slow on the
+bit-serial AP, so the paper uses Barrett reduction [Barrett 1986]: with a
+precomputed constant ``mu = floor(2**k / d)`` the quotient of ``z`` by ``d``
+is obtained as ``(z * mu) >> k`` using only a multiplication and a shift
+(line 6/7 of Algorithm 1, with ``k = 2M``).
+
+The estimate can undershoot the true quotient by a bounded amount when ``z``
+approaches ``2**k``; :class:`BarrettReducer` optionally applies the standard
+correction loop so that the remainder always lands in ``[0, d)``.  Both the
+corrected and the raw ("paper-faithful", single multiply + shift) behaviour
+are exposed so the ablation benchmark can compare them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+__all__ = ["BarrettReducer"]
+
+IntArray = Union[int, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BarrettReducer:
+    """Quotient/remainder by a fixed positive divisor via Barrett reduction.
+
+    Parameters
+    ----------
+    divisor:
+        The fixed divisor ``d`` (``vln2`` in Algorithm 1); must be positive.
+    shift_bits:
+        The Barrett shift ``k``; the paper uses ``k = 2M``.  The reduction
+        is exact (no correction needed) for all ``z`` with
+        ``0 <= z < 2**k / 2`` when ``d <= 2**(k/2)``; the correction loop
+        covers the remaining corner cases.
+    correct:
+        Whether to apply the correction loop (default).  With
+        ``correct=False`` the raw single multiply-and-shift estimate is
+        returned, exactly as written in the paper's pseudocode.
+    """
+
+    divisor: int
+    shift_bits: int
+    correct: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.divisor, "divisor")
+        check_positive_int(self.shift_bits, "shift_bits")
+
+    @property
+    def mu(self) -> int:
+        """The precomputed Barrett constant ``mu = floor(2**k / d)``."""
+        return (1 << self.shift_bits) // self.divisor
+
+    def quotient(self, z: IntArray) -> IntArray:
+        """Estimate ``floor(z / d)`` for non-negative ``z``."""
+        z_arr = np.asarray(z, dtype=np.int64)
+        if np.any(z_arr < 0):
+            raise ValueError("Barrett reduction expects non-negative operands")
+        q = (z_arr * np.int64(self.mu)) >> np.int64(self.shift_bits)
+        if self.correct:
+            r = z_arr - q * self.divisor
+            # Standard Barrett correction: the estimate can undershoot by a
+            # small bounded amount; add one until the remainder is in range.
+            while np.any(r >= self.divisor):
+                adjust = (r >= self.divisor).astype(np.int64)
+                q = q + adjust
+                r = r - adjust * self.divisor
+        if np.isscalar(z) or (isinstance(z, np.ndarray) and z.ndim == 0):
+            return int(q)
+        return q
+
+    def remainder(self, z: IntArray) -> IntArray:
+        """Estimate ``z mod d`` for non-negative ``z``."""
+        q = self.quotient(z)
+        r = np.asarray(z, dtype=np.int64) - np.asarray(q, dtype=np.int64) * self.divisor
+        if np.isscalar(z) or (isinstance(z, np.ndarray) and z.ndim == 0):
+            return int(r)
+        return r
+
+    def divmod(self, z: IntArray) -> Tuple[IntArray, IntArray]:
+        """Return ``(quotient, remainder)`` of ``z`` by the divisor."""
+        q = self.quotient(z)
+        r = np.asarray(z, dtype=np.int64) - np.asarray(q, dtype=np.int64) * self.divisor
+        if np.isscalar(z) or (isinstance(z, np.ndarray) and z.ndim == 0):
+            return int(q), int(r)
+        return q, r
+
+    def max_quotient_error(self, max_operand: int) -> int:
+        """Worst-case undershoot of the *uncorrected* quotient estimate for
+        operands up to ``max_operand`` (exhaustive check; used in tests and
+        the Barrett ablation)."""
+        check_positive_int(max_operand, "max_operand")
+        z = np.arange(max_operand + 1, dtype=np.int64)
+        estimate = (z * np.int64(self.mu)) >> np.int64(self.shift_bits)
+        exact = z // self.divisor
+        return int(np.max(exact - estimate))

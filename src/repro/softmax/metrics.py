@@ -1,0 +1,83 @@
+"""Error metrics between approximated and reference softmax outputs.
+
+The paper evaluates the approximation end-to-end via perplexity; these
+lower-level metrics are used by the test suite and by the direct
+approximation-error experiment to quantify how far the integer softmax
+output is from the floating-point softmax for a given precision
+configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "max_abs_error",
+    "mean_abs_error",
+    "mean_squared_error",
+    "kl_divergence",
+    "cosine_similarity",
+]
+
+
+def _as_pair(approx: np.ndarray, reference: np.ndarray):
+    approx = np.asarray(approx, dtype=np.float64)
+    reference = np.asarray(reference, dtype=np.float64)
+    if approx.shape != reference.shape:
+        raise ValueError(
+            f"shape mismatch: approx {approx.shape} vs reference {reference.shape}"
+        )
+    return approx, reference
+
+
+def max_abs_error(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum absolute elementwise error."""
+    approx, reference = _as_pair(approx, reference)
+    if approx.size == 0:
+        return 0.0
+    return float(np.max(np.abs(approx - reference)))
+
+
+def mean_abs_error(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Mean absolute elementwise error."""
+    approx, reference = _as_pair(approx, reference)
+    if approx.size == 0:
+        return 0.0
+    return float(np.mean(np.abs(approx - reference)))
+
+
+def mean_squared_error(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Mean squared elementwise error."""
+    approx, reference = _as_pair(approx, reference)
+    if approx.size == 0:
+        return 0.0
+    return float(np.mean((approx - reference) ** 2))
+
+
+def kl_divergence(
+    reference: np.ndarray, approx: np.ndarray, axis: int = -1, eps: float = 1e-12
+) -> float:
+    """Mean KL divergence ``KL(reference || approx)`` over all distributions.
+
+    Both inputs are renormalised along ``axis`` (the integer softmax output
+    can sum to slightly less than one because of the floor division) and
+    clamped away from zero before taking logarithms.
+    """
+    approx, reference = _as_pair(approx, reference)
+    ref = np.clip(reference, eps, None)
+    ref = ref / np.sum(ref, axis=axis, keepdims=True)
+    app = np.clip(approx, eps, None)
+    app = app / np.sum(app, axis=axis, keepdims=True)
+    kl = np.sum(ref * (np.log(ref) - np.log(app)), axis=axis)
+    return float(np.mean(kl))
+
+
+def cosine_similarity(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Cosine similarity between the flattened tensors."""
+    approx, reference = _as_pair(approx, reference)
+    a = approx.ravel()
+    b = reference.ravel()
+    denom = np.linalg.norm(a) * np.linalg.norm(b)
+    if denom == 0:
+        return 1.0 if np.allclose(a, b) else 0.0
+    return float(np.dot(a, b) / denom)

@@ -1,0 +1,195 @@
+"""Integer second-order polynomial approximation of the exponential.
+
+I-BERT (Kim et al., 2021) observed that on the interval ``(-ln 2, 0]`` the
+exponential is well approximated by a second-order polynomial
+
+``exp(x) ~= a * (x + b)**2 + c``  with  ``a=0.3585, b=1.353, c=0.344``.
+
+In the integer domain the input ``x`` is represented by an integer ``x_int``
+with scaling factor ``S`` (``x = x_int * S``); the polynomial becomes
+
+``poly_int = (x_int + vb)**2 + vc``  with output scale ``a * S**2``,
+
+where ``vb = floor(b / S)`` and ``vc = floor(c / (a * S**2))`` are computed
+offline (lines 8-10 of Algorithm 1).  :class:`IExpPolynomial` bundles the
+constant computation and the integer evaluation and also exposes the full
+range-reduced i-exp (polynomial + right shift by the quotient).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.softmax.barrett import BarrettReducer
+from repro.softmax.reference import IEXP_A, IEXP_B, IEXP_C
+
+__all__ = ["IExpConstants", "IExpPolynomial"]
+
+IntArray = Union[int, np.ndarray]
+
+_LN2 = float(np.log(2.0))
+
+
+@dataclass(frozen=True)
+class IExpConstants:
+    """Offline-computed integer constants of Algorithm 1 for a fixed scale.
+
+    Attributes
+    ----------
+    scale:
+        Input scaling factor ``S``.
+    vln2:
+        ``floor(ln 2 / S)`` — the quantized ``ln 2`` used for range
+        reduction (line 5).
+    mu:
+        Barrett constant ``floor(2**(2M) / vln2)`` (line 6).
+    barrett_shift:
+        The Barrett shift ``2M``.
+    vb:
+        ``floor(b / S)`` (line 9).
+    vc:
+        ``floor(c / (a * S**2))`` (line 10).
+    output_scale:
+        Scale of the polynomial output, ``a * S**2`` (``Ssm`` before the
+        final floor on line 13).
+    """
+
+    scale: float
+    vln2: int
+    mu: int
+    barrett_shift: int
+    vb: int
+    vc: int
+    output_scale: float
+
+
+class IExpPolynomial:
+    """Integer-only approximation of ``exp`` on non-positive inputs.
+
+    Parameters
+    ----------
+    input_bits:
+        ``M`` — bit width of the quantized input; only used to size the
+        Barrett shift (``2M``), exactly as in line 6 of Algorithm 1.
+    coefficients:
+        The ``(a, b, c)`` polynomial coefficients; defaults to the I-BERT
+        values used by the paper.
+    barrett_correction:
+        Whether the Barrett quotient applies the correction loop (see
+        :class:`~repro.softmax.barrett.BarrettReducer`).
+    """
+
+    def __init__(
+        self,
+        input_bits: int,
+        coefficients: Tuple[float, float, float] = (IEXP_A, IEXP_B, IEXP_C),
+        barrett_correction: bool = True,
+    ) -> None:
+        if input_bits < 2:
+            raise ValueError(f"input_bits must be >= 2, got {input_bits}")
+        self.input_bits = int(input_bits)
+        self.a, self.b, self.c = (float(v) for v in coefficients)
+        if self.a <= 0:
+            raise ValueError("polynomial coefficient 'a' must be positive")
+        self.barrett_correction = bool(barrett_correction)
+
+    # ------------------------------------------------------------------ #
+    # Offline constants                                                   #
+    # ------------------------------------------------------------------ #
+    def constants(self, scale: float) -> IExpConstants:
+        """Compute the offline constants of Algorithm 1 for scale ``S``."""
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        vln2 = int(np.floor(_LN2 / scale))
+        if vln2 < 1:
+            raise ValueError(
+                f"scale {scale} is too coarse: floor(ln2 / S) must be >= 1"
+            )
+        shift = 2 * self.input_bits
+        mu = (1 << shift) // vln2
+        vb = int(np.floor(self.b / scale))
+        vc = int(np.floor(self.c / (self.a * scale * scale)))
+        return IExpConstants(
+            scale=float(scale),
+            vln2=vln2,
+            mu=mu,
+            barrett_shift=shift,
+            vb=vb,
+            vc=vc,
+            output_scale=self.a * scale * scale,
+        )
+
+    def reducer(self, constants: IExpConstants) -> BarrettReducer:
+        """Barrett reducer for the range reduction by ``vln2``."""
+        return BarrettReducer(
+            divisor=constants.vln2,
+            shift_bits=constants.barrett_shift,
+            correct=self.barrett_correction,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Integer evaluation                                                  #
+    # ------------------------------------------------------------------ #
+    def polynomial_int(self, vcorr: IntArray, constants: IExpConstants) -> IntArray:
+        """Evaluate ``(vcorr + vb)**2 + vc`` in the integer domain.
+
+        ``vcorr`` must be the range-reduced argument in ``(-vln2, 0]``; the
+        result approximates ``exp(vcorr * S) / (a * S**2)``.
+        """
+        vcorr_arr = np.asarray(vcorr, dtype=np.int64)
+        poly = (vcorr_arr + np.int64(constants.vb)) ** 2 + np.int64(constants.vc)
+        if np.isscalar(vcorr) or (isinstance(vcorr, np.ndarray) and vcorr.ndim == 0):
+            return int(poly)
+        return poly
+
+    def iexp_int(
+        self, vstable: IntArray, constants: IExpConstants
+    ) -> Tuple[IntArray, IntArray, IntArray]:
+        """Full integer i-exp: range reduction + polynomial + shift.
+
+        Parameters
+        ----------
+        vstable:
+            Non-positive quantized inputs (after max subtraction).
+        constants:
+            Offline constants from :meth:`constants`.
+
+        Returns
+        -------
+        (vapprox, vcorr, quotient):
+            ``vapprox`` approximates ``exp(vstable * S) / output_scale``;
+            ``vcorr`` is the range-reduced argument and ``quotient`` the
+            shift amount (both returned so that the AP mapping and the
+            precision bookkeeping can inspect them).
+        """
+        v = np.asarray(vstable, dtype=np.int64)
+        if np.any(v > 0):
+            raise ValueError("iexp_int expects non-positive (stabilised) inputs")
+        reducer = self.reducer(constants)
+        z = -v
+        quotient = np.asarray(reducer.quotient(z), dtype=np.int64)
+        vcorr = v + quotient * np.int64(constants.vln2)
+        poly = self.polynomial_int(vcorr, constants)
+        vapprox = np.asarray(poly, dtype=np.int64) >> quotient
+        if np.isscalar(vstable) or (isinstance(vstable, np.ndarray) and vstable.ndim == 0):
+            return int(vapprox), int(vcorr), int(quotient)
+        return vapprox, np.asarray(vcorr, dtype=np.int64), quotient
+
+    # ------------------------------------------------------------------ #
+    # Floating-point reference of the same polynomial                     #
+    # ------------------------------------------------------------------ #
+    def iexp_float(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the same range-reduced polynomial in floating point.
+
+        Useful to separate polynomial error from quantization error.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if np.any(x > 1e-12):
+            raise ValueError("iexp_float expects non-positive inputs")
+        q = np.floor(-x / _LN2)
+        r = x + q * _LN2
+        poly = self.a * (r + self.b) ** 2 + self.c
+        return poly * np.power(2.0, -q)

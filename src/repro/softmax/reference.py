@@ -1,0 +1,71 @@
+"""Floating-point reference softmax implementations.
+
+These functions are the accuracy baselines for the integer-only pipeline:
+
+* :func:`softmax` / :func:`log_softmax` — the numerically stable
+  floating-point softmax the paper calls "FP Softmax".
+* :func:`float_iexp_softmax` — the I-BERT polynomial approximation evaluated
+  in floating point (no quantization).  It isolates the error contributed by
+  the polynomial itself from the error contributed by quantization, which is
+  useful in tests and ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["softmax", "log_softmax", "float_iexp_softmax"]
+
+#: Coefficients of the I-BERT second-order approximation of ``exp(x)`` on
+#: ``(-ln 2, 0]``: ``exp(x) ~= a * (x + b)**2 + c`` (line 8 of Algorithm 1).
+IEXP_A: float = 0.3585
+IEXP_B: float = 1.353
+IEXP_C: float = 0.344
+
+_LN2: float = float(np.log(2.0))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``.
+
+    The maximum is subtracted before exponentiation so that the largest
+    exponent is zero, which avoids overflow for large logits (the same
+    stabilisation Algorithm 1 applies on line 4).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    log_sum = np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    return shifted - log_sum
+
+
+def _float_iexp(x: np.ndarray) -> np.ndarray:
+    """I-BERT approximation of ``exp(x)`` for ``x <= 0`` in floating point.
+
+    ``x`` is decomposed as ``x = r - q * ln2`` with ``q`` a non-negative
+    integer and ``r`` in ``(-ln2, 0]``; ``exp(r)`` is approximated by the
+    second-order polynomial and the result shifted right by ``q``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if np.any(x > 1e-12):
+        raise ValueError("_float_iexp expects non-positive inputs")
+    q = np.floor(-x / _LN2)
+    r = x + q * _LN2
+    poly = IEXP_A * (r + IEXP_B) ** 2 + IEXP_C
+    return poly * np.power(2.0, -q)
+
+
+def float_iexp_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Softmax where ``exp`` is replaced by the floating-point I-BERT
+    polynomial approximation (no quantization)."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    approx = _float_iexp(shifted)
+    return approx / np.sum(approx, axis=axis, keepdims=True)

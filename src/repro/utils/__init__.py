@@ -1,0 +1,48 @@
+"""Shared utilities for the SoftmAP reproduction.
+
+The modules in this package are intentionally free of any domain logic: they
+provide bit-width arithmetic helpers (:mod:`repro.utils.bitwidth`), argument
+validation (:mod:`repro.utils.validation`) and plain-text table rendering
+(:mod:`repro.utils.tables`) used by the experiment harness.
+"""
+
+from repro.utils.bitwidth import (
+    bits_for_unsigned,
+    bits_for_signed,
+    signed_max,
+    signed_min,
+    unsigned_max,
+    saturate_signed,
+    saturate_unsigned,
+    wrap_signed,
+    wrap_unsigned,
+    fits_signed,
+    fits_unsigned,
+)
+from repro.utils.tables import TextTable, format_float
+from repro.utils.validation import (
+    check_positive_int,
+    check_non_negative_int,
+    check_in_choices,
+    check_probability,
+)
+
+__all__ = [
+    "bits_for_unsigned",
+    "bits_for_signed",
+    "signed_max",
+    "signed_min",
+    "unsigned_max",
+    "saturate_signed",
+    "saturate_unsigned",
+    "wrap_signed",
+    "wrap_unsigned",
+    "fits_signed",
+    "fits_unsigned",
+    "TextTable",
+    "format_float",
+    "check_positive_int",
+    "check_non_negative_int",
+    "check_in_choices",
+    "check_probability",
+]

@@ -1,0 +1,149 @@
+"""Bit-width arithmetic helpers.
+
+The SoftmAP paper tracks the precision of every intermediate value of the
+integer-only softmax (Table I) and the Associative Processor operates on
+fixed-width two's-complement words.  The helpers in this module centralise
+the range computations, saturation and wrap-around semantics so that the
+quantization, softmax and AP packages all agree on what an ``M``-bit signed
+word means.
+
+All functions accept either Python integers or numpy arrays and return the
+same kind of object (scalars stay scalars, arrays stay arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+IntLike = Union[int, np.ndarray]
+
+__all__ = [
+    "bits_for_unsigned",
+    "bits_for_signed",
+    "signed_max",
+    "signed_min",
+    "unsigned_max",
+    "saturate_signed",
+    "saturate_unsigned",
+    "wrap_signed",
+    "wrap_unsigned",
+    "fits_signed",
+    "fits_unsigned",
+    "to_twos_complement",
+    "from_twos_complement",
+]
+
+
+def signed_max(bits: int) -> int:
+    """Largest value representable by a signed ``bits``-wide word."""
+    if bits < 1:
+        raise ValueError(f"bit width must be >= 1, got {bits}")
+    return (1 << (bits - 1)) - 1
+
+
+def signed_min(bits: int) -> int:
+    """Smallest (most negative) value representable by a signed word."""
+    if bits < 1:
+        raise ValueError(f"bit width must be >= 1, got {bits}")
+    return -(1 << (bits - 1))
+
+
+def unsigned_max(bits: int) -> int:
+    """Largest value representable by an unsigned ``bits``-wide word."""
+    if bits < 1:
+        raise ValueError(f"bit width must be >= 1, got {bits}")
+    return (1 << bits) - 1
+
+
+def bits_for_unsigned(value: int) -> int:
+    """Number of bits needed to store ``value`` as an unsigned integer.
+
+    ``0`` needs one bit by convention (a single zero bit).
+    """
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    return max(1, int(value).bit_length())
+
+
+def bits_for_signed(value: int) -> int:
+    """Number of bits needed to store ``value`` in two's complement."""
+    value = int(value)
+    if value >= 0:
+        return value.bit_length() + 1
+    return (-value - 1).bit_length() + 1
+
+
+def fits_signed(value: IntLike, bits: int) -> Union[bool, np.ndarray]:
+    """Whether ``value`` fits in a signed word of ``bits`` bits."""
+    lo, hi = signed_min(bits), signed_max(bits)
+    result = (value >= lo) & (value <= hi)
+    if isinstance(result, np.ndarray):
+        return result
+    return bool(result)
+
+
+def fits_unsigned(value: IntLike, bits: int) -> Union[bool, np.ndarray]:
+    """Whether ``value`` fits in an unsigned word of ``bits`` bits."""
+    result = (value >= 0) & (value <= unsigned_max(bits))
+    if isinstance(result, np.ndarray):
+        return result
+    return bool(result)
+
+
+def saturate_signed(value: IntLike, bits: int) -> IntLike:
+    """Clamp ``value`` to the signed range of a ``bits``-wide word."""
+    lo, hi = signed_min(bits), signed_max(bits)
+    if isinstance(value, np.ndarray):
+        return np.clip(value, lo, hi)
+    return int(min(max(int(value), lo), hi))
+
+
+def saturate_unsigned(value: IntLike, bits: int) -> IntLike:
+    """Clamp ``value`` to the unsigned range of a ``bits``-wide word."""
+    hi = unsigned_max(bits)
+    if isinstance(value, np.ndarray):
+        return np.clip(value, 0, hi)
+    return int(min(max(int(value), 0), hi))
+
+
+def wrap_unsigned(value: IntLike, bits: int) -> IntLike:
+    """Wrap ``value`` modulo ``2**bits`` (unsigned overflow semantics)."""
+    modulus = 1 << bits
+    if isinstance(value, np.ndarray):
+        return np.mod(value, modulus)
+    return int(value) % modulus
+
+
+def wrap_signed(value: IntLike, bits: int) -> IntLike:
+    """Wrap ``value`` into the signed range with two's-complement overflow."""
+    modulus = 1 << bits
+    half = 1 << (bits - 1)
+    wrapped = wrap_unsigned(value, bits)
+    if isinstance(wrapped, np.ndarray):
+        return np.where(wrapped >= half, wrapped - modulus, wrapped)
+    wrapped = int(wrapped)
+    return wrapped - modulus if wrapped >= half else wrapped
+
+
+def to_twos_complement(value: IntLike, bits: int) -> IntLike:
+    """Encode a signed value as its unsigned two's-complement bit pattern."""
+    in_range = fits_signed(value, bits)
+    if isinstance(in_range, np.ndarray):
+        if not bool(np.all(in_range)):
+            raise OverflowError(f"values do not fit in {bits} signed bits")
+    elif not in_range:
+        raise OverflowError(f"value {value} does not fit in {bits} signed bits")
+    return wrap_unsigned(value, bits)
+
+
+def from_twos_complement(pattern: IntLike, bits: int) -> IntLike:
+    """Decode an unsigned two's-complement bit pattern back to a signed value."""
+    in_range = fits_unsigned(pattern, bits)
+    if isinstance(in_range, np.ndarray):
+        if not bool(np.all(in_range)):
+            raise OverflowError(f"patterns do not fit in {bits} bits")
+    elif not in_range:
+        raise OverflowError(f"pattern {pattern} does not fit in {bits} bits")
+    return wrap_signed(pattern, bits)

@@ -1,0 +1,99 @@
+"""Plain-text table rendering for the experiment harness.
+
+Every experiment in :mod:`repro.experiments` ends by printing a table whose
+rows mirror a table or figure series in the paper.  ``TextTable`` renders a
+list of rows into an aligned, pipe-separated table that is readable both in
+a terminal and when pasted into a Markdown document (EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["TextTable", "format_float"]
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Format a float compactly: fixed-point for moderate magnitudes,
+    scientific notation for very large/small values."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e5 or magnitude < 10 ** (-digits):
+        return f"{value:.{digits}e}"
+    return f"{value:.{digits}f}".rstrip("0").rstrip(".")
+
+
+class TextTable:
+    """An aligned plain-text table builder.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    title:
+        Optional caption printed above the table.
+    float_digits:
+        Number of significant digits used when a cell is a float.
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        title: Optional[str] = None,
+        float_digits: int = 3,
+    ) -> None:
+        self.headers: List[str] = [str(h) for h in headers]
+        self.title = title
+        self.float_digits = float_digits
+        self._rows: List[List[str]] = []
+
+    def add_row(self, cells: Iterable[Any]) -> None:
+        """Append a row; cells are formatted via :func:`format_float` when
+        they are floats and ``str`` otherwise."""
+        formatted = []
+        for cell in cells:
+            if isinstance(cell, bool):
+                formatted.append(str(cell))
+            elif isinstance(cell, float):
+                formatted.append(format_float(cell, self.float_digits))
+            else:
+                formatted.append(str(cell))
+        if len(formatted) != len(self.headers):
+            raise ValueError(
+                f"row has {len(formatted)} cells, expected {len(self.headers)}"
+            )
+        self._rows.append(formatted)
+
+    def add_rows(self, rows: Iterable[Iterable[Any]]) -> None:
+        """Append several rows at once."""
+        for row in rows:
+            self.add_row(row)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """The formatted rows added so far."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table to an aligned pipe-separated string."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def render_line(cells: Sequence[str]) -> str:
+            padded = [cell.ljust(widths[i]) for i, cell in enumerate(cells)]
+            return "| " + " | ".join(padded) + " |"
+
+        separator = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(render_line(self.headers))
+        lines.append(separator)
+        lines.extend(render_line(row) for row in self._rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()

@@ -1,0 +1,142 @@
+"""Tests for the CAM primitives and the LUT definitions."""
+
+import numpy as np
+import pytest
+
+from repro.ap.cam import CamArray, CamStats
+from repro.ap.lut import ADD_LUT, AND_LUT, COPY_LUT, NOT_LUT, OR_LUT, SUB_LUT, XOR_LUT, Lut, LutPass
+
+
+class TestCamArray:
+    def test_compare_tags_matching_rows(self):
+        cam = CamArray(rows=4, columns=3)
+        cam.load_bits([0, 1], np.array([[1, 0], [1, 1], [0, 0], [1, 0]], dtype=bool))
+        tag = cam.compare({0: 1, 1: 0})
+        assert list(tag) == [True, False, False, True]
+
+    def test_write_only_touches_tagged_rows(self):
+        cam = CamArray(rows=3, columns=2)
+        cam.compare({0: 0})
+        cam.write({1: 1})
+        assert list(cam.cells[:, 1]) == [True, True, True]
+        cam.load_bits([0], np.array([[1], [0], [0]], dtype=bool))
+        cam.compare({0: 1})
+        cam.write({1: 0})
+        assert list(cam.cells[:, 1]) == [False, True, True]
+
+    def test_row_mask_restricts_matches(self):
+        cam = CamArray(rows=4, columns=1)
+        tag = cam.compare({0: 0}, row_mask=np.array([True, False, True, False]))
+        assert list(tag) == [True, False, True, False]
+
+    def test_stats_counting(self):
+        cam = CamArray(rows=4, columns=2)
+        cam.compare({0: 0, 1: 0})
+        cam.write({0: 1})
+        assert cam.stats.compare_cycles == 1
+        assert cam.stats.write_cycles == 1
+        assert cam.stats.compared_bits == 8
+        assert cam.stats.total_cycles == 2
+        cam.stats.reset()
+        assert cam.stats.total_cycles == 0
+
+    def test_stats_merge(self):
+        a = CamStats(compare_cycles=1, write_cycles=2, compared_bits=3, written_bits=4, row_writes=5)
+        b = CamStats(compare_cycles=10, write_cycles=20, compared_bits=30, written_bits=40, row_writes=50)
+        merged = a.merge(b)
+        assert merged.compare_cycles == 11
+        assert merged.total_cycles == 33
+
+    def test_invalid_column_rejected(self):
+        cam = CamArray(rows=2, columns=2)
+        with pytest.raises(IndexError):
+            cam.compare({5: 1})
+
+    def test_empty_key_rejected(self):
+        cam = CamArray(rows=2, columns=2)
+        with pytest.raises(ValueError):
+            cam.compare({})
+        with pytest.raises(ValueError):
+            cam.write({})
+
+    def test_clear_columns(self):
+        cam = CamArray(rows=2, columns=3)
+        cam.load_bits([0, 1, 2], np.ones((2, 3), dtype=bool))
+        cam.clear_columns([0, 2])
+        assert not cam.cells[:, 0].any()
+        assert cam.cells[:, 1].all()
+
+    def test_load_bits_shape_checked(self):
+        cam = CamArray(rows=2, columns=3)
+        with pytest.raises(ValueError):
+            cam.load_bits([0], np.ones((3, 1), dtype=bool))
+
+
+class TestLutDefinitions:
+    @pytest.mark.parametrize("lut,passes", [(XOR_LUT, 2), (AND_LUT, 1), (OR_LUT, 2),
+                                            (NOT_LUT, 1), (COPY_LUT, 1), (ADD_LUT, 4), (SUB_LUT, 4)])
+    def test_pass_counts(self, lut, passes):
+        assert lut.passes_per_bit == passes
+        assert lut.cycles_per_bit() == 2 * passes
+
+    def test_roles(self):
+        assert set(ADD_LUT.roles) == {"cy", "a", "b"}
+        assert set(SUB_LUT.roles) == {"bw", "a", "b"}
+
+    def test_lut_pass_validation(self):
+        with pytest.raises(ValueError):
+            LutPass(search={}, write={"r": 1})
+        with pytest.raises(ValueError):
+            LutPass(search={"a": 2}, write={"r": 1})
+        with pytest.raises(ValueError):
+            Lut(name="empty", passes=())
+
+    @pytest.mark.parametrize("lut", [ADD_LUT, SUB_LUT])
+    def test_pass_ordering_is_safe(self, lut):
+        """A row rewritten by pass i must never match the key of a later pass."""
+        for i, earlier in enumerate(lut.passes):
+            state = dict(earlier.search)
+            state.update(earlier.write)
+            for later in lut.passes[i + 1:]:
+                matches = all(state.get(role) == bit for role, bit in later.search.items())
+                assert not matches, (
+                    f"result state of pass {i} matches a later pass of {lut.name}"
+                )
+
+    def test_xor_lut_truth_table(self):
+        """The Fig. 3 LUT computes XOR for every input combination."""
+        for a in (0, 1):
+            for b in (0, 1):
+                result = 0  # result column pre-cleared
+                for lut_pass in XOR_LUT.passes:
+                    if lut_pass.search.get("a") == a and lut_pass.search.get("b") == b:
+                        result = lut_pass.write["r"]
+                assert result == a ^ b
+
+    def test_full_adder_truth_table(self):
+        """ADD_LUT implements a full adder for every (carry, a, b)."""
+        for carry in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    state = {"cy": carry, "a": a, "b": b}
+                    for lut_pass in ADD_LUT.passes:
+                        if all(state[k] == v for k, v in lut_pass.search.items()):
+                            state.update(lut_pass.write)
+                            break
+                    total = carry + a + b
+                    assert state["b"] == total % 2
+                    assert state["cy"] == total // 2
+
+    def test_full_subtractor_truth_table(self):
+        """SUB_LUT implements a full subtractor (a - b - borrow)."""
+        for borrow in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    state = {"bw": borrow, "a": a, "b": b}
+                    for lut_pass in SUB_LUT.passes:
+                        if all(state[k] == v for k, v in lut_pass.search.items()):
+                            state.update(lut_pass.write)
+                            break
+                    diff = a - b - borrow
+                    assert state["a"] == diff % 2
+                    assert state["bw"] == (1 if diff < 0 else 0)

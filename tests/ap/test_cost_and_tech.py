@@ -1,0 +1,112 @@
+"""Tests for the Table II cost model and the technology parameters."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.ap.cost import ApCostModel, OperationCost
+from repro.ap.tech import TECH_16NM, TechnologyParameters
+
+
+class TestTableIIFormulas:
+    @pytest.mark.parametrize("m,expected", [(4, 45), (6, 67), (8, 89)])
+    def test_addition(self, m, expected):
+        assert ApCostModel(rows=64).addition_cycles(m) == expected  # 2M+8M+M+1
+
+    @pytest.mark.parametrize("m,expected", [(4, 144), (6, 312), (8, 544)])
+    def test_multiplication(self, m, expected):
+        assert ApCostModel(rows=64).multiplication_cycles(m) == expected  # 2M+8M^2+2M
+
+    def test_reduction_formula(self):
+        model = ApCostModel(rows=1024)
+        m, words = 6, 2048
+        expected = 2 * m + 8 * m + 8 * math.ceil(math.log2(words // 2)) + 1
+        assert model.reduction_cycles(m, words) == expected
+
+    def test_matmul_formula(self):
+        model = ApCostModel(rows=64)
+        m, j = 8, 64
+        expected = 2 * m + 8 * m * m + 8 * math.ceil(math.log2(j)) + 2 * m + math.ceil(math.log2(j))
+        assert model.matmul_cycles(m, j) == expected
+
+    def test_subtraction_equals_addition(self):
+        model = ApCostModel(rows=64)
+        assert model.subtraction_cycles(6) == model.addition_cycles(6)
+
+    def test_division_scales_with_output_bits(self):
+        model = ApCostModel(rows=64)
+        base = model.division_cycles(12, 28, 0)
+        extended = model.division_cycles(12, 28, 12)
+        assert extended == 2 * base  # per-output-bit cost, 24 vs 12 output bits
+        assert base > 0
+
+    def test_variable_shift_cycles(self):
+        model = ApCostModel(rows=64)
+        assert model.variable_shift_cycles(10, 4) == 3 * 10 + 4 * 10 * 4
+
+    def test_write_and_copy(self):
+        model = ApCostModel(rows=64)
+        assert model.write_cycles(6) == 6
+        assert model.copy_cycles(6) == 18
+
+
+class TestCostConversion:
+    def test_latency_matches_frequency(self):
+        model = ApCostModel(rows=64)
+        cost = model.cost_from_cycles("x", 1000)
+        assert cost.latency_s == pytest.approx(1000 / TECH_16NM.frequency_hz)
+
+    def test_energy_scales_with_rows(self):
+        small = ApCostModel(rows=64).addition(6)
+        large = ApCostModel(rows=2048).addition(6)
+        assert large.energy_j > small.energy_j
+        assert large.latency_s == small.latency_s  # word-parallel
+
+    def test_active_rows_limits_energy(self):
+        model = ApCostModel(rows=1024)
+        full = model.addition(6)
+        partial = model.addition(6, active_rows=1)
+        assert partial.energy_j < full.energy_j
+
+    def test_operation_cost_add_and_scale(self):
+        a = OperationCost("a", 10, 1e-8, 1e-12)
+        b = OperationCost("b", 5, 0.5e-8, 0.5e-12)
+        total = a + b
+        assert total.cycles == 15
+        doubled = a.scaled(2)
+        assert doubled.cycles == 20
+        with pytest.raises(ValueError):
+            a.scaled(-1)
+        assert OperationCost.zero().cycles == 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            ApCostModel(rows=8).cost_from_cycles("x", -1)
+
+
+class TestAreaAndEnergyPerOp:
+    def test_per_head_ap_area_near_paper(self):
+        # 2048 rows x 64 columns at 16 nm ~ 0.02 mm^2 per head.
+        area = ApCostModel(rows=2048, columns=64).area_mm2()
+        assert 0.015 < area < 0.025
+
+    def test_energy_per_op_close_to_table_vi(self):
+        value = ApCostModel(rows=2048).energy_per_elementary_op_pj(6)
+        assert 0.004 < value < 0.008  # paper: 5.88e-3 pJ
+
+    def test_energy_per_op_with_row_access_is_larger(self):
+        model = ApCostModel(rows=2048)
+        assert model.energy_per_elementary_op_pj(6, include_row_access=True) > \
+            model.energy_per_elementary_op_pj(6)
+
+
+class TestTechnologyParameters:
+    def test_cycle_time(self):
+        assert TECH_16NM.cycle_time_s == pytest.approx(1e-9)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TECH_16NM, frequency_hz=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(TECH_16NM, idle_row_leakage_w=-1)

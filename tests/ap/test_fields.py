@@ -1,0 +1,58 @@
+"""Tests for field allocation."""
+
+import pytest
+
+from repro.ap.fields import Field, FieldAllocator
+
+
+class TestField:
+    def test_bits_and_columns(self):
+        field = Field(name="a", columns=(3, 4, 5))
+        assert field.bits == 3
+        assert field.bit_column(0) == 3
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Field(name="bad", columns=(1, 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Field(name="bad", columns=())
+
+    def test_slice(self):
+        field = Field(name="a", columns=(0, 1, 2, 3))
+        sub = field.slice(1, 3)
+        assert sub.columns == (1, 2)
+        assert sub.name == "a[1:3]"
+        with pytest.raises(ValueError):
+            field.slice(3, 3)
+
+
+class TestFieldAllocator:
+    def test_disjoint_allocation(self):
+        allocator = FieldAllocator(10)
+        a = allocator.allocate("a", 4)
+        b = allocator.allocate("b", 6)
+        assert set(a.columns).isdisjoint(b.columns)
+        assert allocator.used_columns == 10
+        assert allocator.free_columns == 0
+
+    def test_overflow_rejected(self):
+        allocator = FieldAllocator(4)
+        allocator.allocate("a", 3)
+        with pytest.raises(ValueError):
+            allocator.allocate("b", 2)
+
+    def test_duplicate_name_rejected(self):
+        allocator = FieldAllocator(8)
+        allocator.allocate("a", 2)
+        with pytest.raises(ValueError):
+            allocator.allocate("a", 2)
+
+    def test_get_and_layout(self):
+        allocator = FieldAllocator(8)
+        allocator.allocate("a", 2)
+        assert allocator.get("a").bits == 2
+        assert allocator.layout() == [("a", 0, 2)]
+        with pytest.raises(KeyError):
+            allocator.get("missing")

@@ -1,0 +1,242 @@
+"""Functional tests of the bit-serial word-parallel AP operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ap.processor import AssociativeProcessor
+from repro.ap.processor2d import AssociativeProcessor2D
+
+
+def make_ap(rows=8, columns=160):
+    return AssociativeProcessor2D(rows=rows, columns=columns)
+
+
+class TestDataMovement:
+    def test_write_and_read_roundtrip(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 8)
+        values = np.array([0, 1, 127, 255, 3, 17, 64, 200])
+        ap.write_field(field, values)
+        assert np.array_equal(ap.read_field(field), values)
+
+    def test_write_constant_broadcasts(self):
+        ap = make_ap()
+        field = ap.allocate_field("c", 6)
+        ap.write_constant(field, 42)
+        assert np.all(ap.read_field(field) == 42)
+
+    def test_write_overflow_rejected(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 4)
+        with pytest.raises(OverflowError):
+            ap.write_field(field, np.full(8, 16))
+
+    def test_negative_values_rejected(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 4)
+        with pytest.raises(ValueError):
+            ap.write_field(field, np.full(8, -1))
+
+    def test_read_signed(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 4)
+        ap.write_field(field, np.array([0, 7, 8, 15, 1, 2, 3, 4]))
+        signed = ap.read_field_signed(field)
+        assert list(signed[:4]) == [0, 7, -8, -1]
+
+    def test_clear_field(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 4)
+        ap.write_field(field, np.full(8, 9))
+        ap.clear_field(field)
+        assert np.all(ap.read_field(field) == 0)
+
+    def test_write_charges_cycles(self):
+        ap = make_ap()
+        field = ap.allocate_field("a", 8)
+        before = ap.stats.write_cycles
+        ap.write_field(field, np.zeros(8, dtype=np.int64))
+        assert ap.stats.write_cycles == before + 8
+
+
+class TestLogic:
+    def test_xor_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        ap = make_ap()
+        a = ap.allocate_field("a", 8)
+        b = ap.allocate_field("b", 8)
+        r = ap.allocate_field("r", 8)
+        av, bv = rng.integers(0, 256, 8), rng.integers(0, 256, 8)
+        ap.write_field(a, av)
+        ap.write_field(b, bv)
+        ap.xor(a, b, r)
+        assert np.array_equal(ap.read_field(r), av ^ bv)
+
+    def test_and_or_not_copy(self):
+        rng = np.random.default_rng(1)
+        ap = make_ap(columns=200)
+        a = ap.allocate_field("a", 6)
+        b = ap.allocate_field("b", 6)
+        av, bv = rng.integers(0, 64, 8), rng.integers(0, 64, 8)
+        ap.write_field(a, av)
+        ap.write_field(b, bv)
+        for name, op, expected in [
+            ("and", lambda r: ap.and_(a, b, r), av & bv),
+            ("or", lambda r: ap.or_(a, b, r), av | bv),
+            ("not", lambda r: ap.not_(a, r), (~av) & 63),
+            ("copy", lambda r: ap.copy(a, r), av),
+        ]:
+            r = ap.allocate_field(f"r_{name}", 6)
+            op(r)
+            assert np.array_equal(ap.read_field(r), expected), name
+
+    def test_fig3_xor_example(self):
+        """The exact worked example of Fig. 3: A=[3,0,2,3], B=[1,1,2,2]."""
+        ap = make_ap(rows=4)
+        a = ap.allocate_field("A", 2)
+        b = ap.allocate_field("B", 2)
+        r = ap.allocate_field("R", 2)
+        ap.write_field(a, np.array([3, 0, 2, 3]))
+        ap.write_field(b, np.array([1, 1, 2, 2]))
+        ap.xor(a, b, r)
+        assert list(ap.read_field(r)) == [2, 1, 0, 1]
+
+
+class TestArithmetic:
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+           st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_add_property(self, avs, bvs):
+        ap = AssociativeProcessor2D(rows=4, columns=60)
+        a = ap.allocate_field("a", 8)
+        b = ap.allocate_field("b", 8)
+        ap.write_field(a, np.array(avs))
+        ap.write_field(b, np.array(bvs))
+        ap.add(a, b)
+        assert np.array_equal(ap.read_field(b), (np.array(avs) + np.array(bvs)) % 256)
+
+    @given(st.lists(st.integers(0, 255), min_size=4, max_size=4),
+           st.lists(st.integers(0, 255), min_size=4, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_subtract_property(self, avs, bvs):
+        ap = AssociativeProcessor2D(rows=4, columns=60)
+        a = ap.allocate_field("a", 8)
+        b = ap.allocate_field("b", 8)
+        ap.write_field(a, np.array(avs))
+        ap.write_field(b, np.array(bvs))
+        borrow = ap.subtract(a, b)
+        assert np.array_equal(ap.read_field(a), (np.array(avs) - np.array(bvs)) % 256)
+        assert np.array_equal(borrow, np.array(avs) < np.array(bvs))
+
+    @given(st.lists(st.integers(0, 63), min_size=4, max_size=4),
+           st.lists(st.integers(0, 63), min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_multiply_property(self, avs, bvs):
+        ap = AssociativeProcessor2D(rows=4, columns=80)
+        a = ap.allocate_field("a", 6)
+        b = ap.allocate_field("b", 6)
+        r = ap.allocate_field("r", 12)
+        ap.write_field(a, np.array(avs))
+        ap.write_field(b, np.array(bvs))
+        ap.multiply(a, b, r)
+        assert np.array_equal(ap.read_field(r), np.array(avs) * np.array(bvs))
+
+    def test_multiply_rejects_overlapping_operands(self):
+        ap = make_ap()
+        a = ap.allocate_field("a", 4)
+        r = ap.allocate_field("r", 8)
+        with pytest.raises(ValueError):
+            ap.multiply(a, a, r)
+
+    def test_square_uses_scratch(self):
+        ap = make_ap()
+        a = ap.allocate_field("a", 5)
+        scratch = ap.allocate_field("s", 5)
+        r = ap.allocate_field("r", 10)
+        values = np.array([0, 1, 5, 17, 31, 2, 3, 9])
+        ap.write_field(a, values)
+        ap.square(a, scratch, r)
+        assert np.array_equal(ap.read_field(r), values ** 2)
+
+    def test_add_with_narrower_operand_zero_extends(self):
+        ap = make_ap()
+        a = ap.allocate_field("a", 3)
+        b = ap.allocate_field("b", 8)
+        ap.write_field(a, np.full(8, 5))
+        ap.write_field(b, np.full(8, 100))
+        ap.add(a, b)
+        assert np.all(ap.read_field(b) == 105)
+
+
+class TestShiftAndDivide:
+    def test_constant_shift_view(self):
+        ap = make_ap()
+        a = ap.allocate_field("a", 8)
+        ap.write_field(a, np.array([255, 128, 64, 7, 8, 9, 10, 11]))
+        view = ap.shifted_view(a, 3)
+        assert np.array_equal(ap.read_field(view), np.array([255, 128, 64, 7, 8, 9, 10, 11]) >> 3)
+
+    def test_constant_shift_too_large(self):
+        ap = make_ap()
+        a = ap.allocate_field("a", 4)
+        with pytest.raises(ValueError):
+            ap.shifted_view(a, 4)
+
+    @given(st.lists(st.integers(0, 4095), min_size=4, max_size=4),
+           st.lists(st.integers(0, 7), min_size=4, max_size=4))
+    @settings(max_examples=20, deadline=None)
+    def test_variable_shift_property(self, values, shifts):
+        ap = AssociativeProcessor2D(rows=4, columns=80)
+        src = ap.allocate_field("src", 12)
+        shift = ap.allocate_field("sh", 3)
+        dst = ap.allocate_field("dst", 12)
+        ap.write_field(src, np.array(values))
+        ap.write_field(shift, np.array(shifts))
+        ap.shift_right_variable(src, shift, dst)
+        assert np.array_equal(ap.read_field(dst), np.array(values) >> np.array(shifts))
+
+    @given(st.lists(st.integers(0, 2**14 - 1), min_size=4, max_size=4),
+           st.integers(3, 1000), st.integers(0, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_divide_property(self, dividends, divisor, fraction_bits):
+        ap = AssociativeProcessor2D(rows=4, columns=120)
+        x = ap.allocate_field("x", 14)
+        d = ap.allocate_field("d", 10)
+        q = ap.allocate_field("q", 14 + fraction_bits)
+        rem = ap.allocate_field("rem", 11)
+        ap.write_field(x, np.array(dividends))
+        ap.write_field(d, np.full(4, divisor))
+        ap.divide(x, d, q, rem, fraction_bits=fraction_bits)
+        expected = (np.array(dividends, dtype=np.int64) << fraction_bits) // divisor
+        assert np.array_equal(ap.read_field(q), expected)
+
+    def test_divide_validates_field_widths(self):
+        ap = make_ap()
+        x = ap.allocate_field("x", 8)
+        d = ap.allocate_field("d", 8)
+        q = ap.allocate_field("q", 4)
+        rem = ap.allocate_field("rem", 9)
+        with pytest.raises(ValueError):
+            ap.divide(x, d, q, rem, fraction_bits=4)
+
+
+class TestStatsAndStructure:
+    def test_cycle_count_scales_with_precision(self):
+        counts = {}
+        for bits in (4, 8):
+            ap = AssociativeProcessor2D(rows=4, columns=60)
+            a = ap.allocate_field("a", bits)
+            b = ap.allocate_field("b", bits)
+            ap.write_field(a, np.zeros(4, dtype=np.int64))
+            ap.write_field(b, np.zeros(4, dtype=np.int64))
+            ap.reset_stats()
+            ap.add(a, b)
+            counts[bits] = ap.stats.total_cycles
+        assert counts[8] > counts[4]
+
+    def test_service_columns_reserved(self):
+        ap = AssociativeProcessor(rows=2, columns=10)
+        assert ap.allocator.used_columns == 3  # zero + state + flag
+        field = ap.allocate_field("a", 10)
+        assert field.bits == 10

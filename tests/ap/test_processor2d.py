@@ -1,0 +1,67 @@
+"""Tests for the 2D AP row-wise operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ap.processor2d import AssociativeProcessor2D
+
+
+class TestReduction:
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=32))
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_sum_property(self, values):
+        ap = AssociativeProcessor2D(rows=len(values), columns=40)
+        field = ap.allocate_field("a", 8)
+        dest = ap.allocate_field("sum", 8 + 6)
+        ap.write_field(field, np.array(values))
+        ap.reduce_sum(field, dest)
+        assert ap.read_field(dest)[0] == sum(values)
+
+    def test_reduce_levels_match_log2(self):
+        ap = AssociativeProcessor2D(rows=16, columns=40)
+        field = ap.allocate_field("a", 4)
+        dest = ap.allocate_field("sum", 10)
+        ap.write_field(field, np.ones(16, dtype=np.int64))
+        levels = ap.reduce_sum(field, dest)
+        assert levels == 4
+
+    def test_destination_width_validated(self):
+        ap = AssociativeProcessor2D(rows=8, columns=30)
+        field = ap.allocate_field("a", 8)
+        dest = ap.allocate_field("sum", 8)
+        ap.write_field(field, np.full(8, 255))
+        with pytest.raises(ValueError):
+            ap.reduce_sum(field, dest)
+
+    def test_broadcast_row(self):
+        ap = AssociativeProcessor2D(rows=4, columns=20)
+        field = ap.allocate_field("a", 8)
+        ap.write_field(field, np.array([7, 1, 2, 3]))
+        ap.broadcast_row(field, source_row=0)
+        assert np.all(ap.read_field(field) == 7)
+
+    def test_broadcast_row_out_of_range(self):
+        ap = AssociativeProcessor2D(rows=2, columns=10)
+        field = ap.allocate_field("a", 2)
+        with pytest.raises(IndexError):
+            ap.broadcast_row(field, source_row=5)
+
+    def test_reduce_and_broadcast(self):
+        ap = AssociativeProcessor2D(rows=8, columns=40)
+        field = ap.allocate_field("a", 6)
+        dest = ap.allocate_field("sum", 12)
+        values = np.arange(1, 9)
+        ap.write_field(field, values)
+        ap.reduce_and_broadcast(field, dest)
+        assert np.all(ap.read_field(dest) == values.sum())
+
+    def test_reduction_charges_cycles(self):
+        ap = AssociativeProcessor2D(rows=8, columns=40)
+        field = ap.allocate_field("a", 6)
+        dest = ap.allocate_field("sum", 12)
+        ap.write_field(field, np.ones(8, dtype=np.int64))
+        ap.reset_stats()
+        ap.reduce_sum(field, dest)
+        assert ap.stats.compare_cycles > 0
+        assert ap.stats.write_cycles > 0

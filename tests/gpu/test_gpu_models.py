@@ -1,0 +1,101 @@
+"""Tests for the analytical GPU models."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.softmax_model import GpuSoftmaxModel
+from repro.gpu.spec import A100, GPUS, RTX3090
+from repro.gpu.transformer_model import GpuTransformerModel
+from repro.llm.config import LLAMA2_70B, LLAMA2_7B
+
+
+class TestGpuSpec:
+    def test_registry(self):
+        assert set(GPUS) == {"A100", "RTX3090"}
+
+    def test_a100_has_more_bandwidth(self):
+        assert A100.memory_bandwidth_bytes_per_s > RTX3090.memory_bandwidth_bytes_per_s
+
+    def test_effective_bandwidth_monotone_in_size(self):
+        assert A100.effective_bandwidth(1e9) > A100.effective_bandwidth(1e5)
+
+    def test_effective_bandwidth_below_peak(self):
+        assert A100.effective_bandwidth(1e12) < A100.memory_bandwidth_bytes_per_s
+
+    def test_streaming_bandwidth(self):
+        assert A100.streaming_bandwidth() == pytest.approx(
+            A100.memory_bandwidth_bytes_per_s * A100.streaming_efficiency
+        )
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(A100, tdp_w=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(A100, max_bandwidth_efficiency=1.5)
+        with pytest.raises(ValueError):
+            A100.effective_bandwidth(0)
+
+
+class TestSoftmaxKernelModel:
+    def test_latency_has_launch_floor(self):
+        model = GpuSoftmaxModel(A100)
+        tiny = model.decode_cost(1, 32, 128)
+        assert tiny.latency_s >= A100.kernel_launch_overhead_s
+
+    def test_latency_grows_with_tensor(self):
+        model = GpuSoftmaxModel(A100)
+        assert model.decode_cost(32, 32, 4096).latency_s > model.decode_cost(1, 32, 128).latency_s
+
+    def test_energy_grows_with_tensor(self):
+        model = GpuSoftmaxModel(A100)
+        assert model.decode_cost(32, 32, 4096).energy_j > model.decode_cost(1, 32, 128).energy_j
+
+    def test_rtx3090_slower_than_a100_on_large_tensors(self):
+        a = GpuSoftmaxModel(A100).decode_cost(32, 32, 4096)
+        r = GpuSoftmaxModel(RTX3090).decode_cost(32, 32, 4096)
+        assert r.latency_s > a.latency_s
+
+    def test_prefill_much_larger_than_decode(self):
+        model = GpuSoftmaxModel(A100)
+        assert model.prefill_cost(1, 32, 1024).bytes_moved == \
+            1024 * model.decode_cost(1, 32, 1024).bytes_moved
+
+    def test_edp_property(self):
+        cost = GpuSoftmaxModel(A100).decode_cost(1, 32, 1024)
+        assert cost.edp == pytest.approx(cost.latency_s * cost.energy_j)
+
+    def test_invalid_arguments(self):
+        model = GpuSoftmaxModel(A100)
+        with pytest.raises(ValueError):
+            model.decode_cost(0, 32, 128)
+
+
+class TestTransformerModel:
+    def test_fig1_fraction_rises_with_sequence_length(self):
+        model = GpuTransformerModel(A100, LLAMA2_7B)
+        fractions = [model.softmax_fraction(1, seq) for seq in (1024, 4096, 16384)]
+        assert fractions[0] < fractions[1] < fractions[2]
+
+    def test_fig1_endpoints_in_paper_ballpark(self):
+        model = GpuTransformerModel(A100, LLAMA2_7B)
+        assert model.softmax_fraction(1, 1024) < 0.10          # paper: 3.34%
+        assert 0.20 < model.softmax_fraction(1, 16384) < 0.55  # paper: 38%
+
+    def test_amdahl_end_to_end_reduction(self):
+        model = GpuTransformerModel(A100, LLAMA2_70B)
+        breakdown = model.prefill(1, 4096)
+        reduction = breakdown.end_to_end_reduction(6.7)
+        # Paper: a 6.7x softmax speedup cuts Llama2-70b runtime by 10.71%.
+        assert 0.02 < reduction < 0.20
+        assert breakdown.with_softmax_speedup(6.7).total_s < breakdown.total_s
+
+    def test_decode_breakdown_positive(self):
+        breakdown = GpuTransformerModel(A100, LLAMA2_7B).decode_step(1, 2048)
+        assert breakdown.total_s > 0
+        assert 0 < breakdown.softmax_fraction < 1
+
+    def test_invalid_speedup(self):
+        breakdown = GpuTransformerModel(A100, LLAMA2_7B).prefill(1, 1024)
+        with pytest.raises(ValueError):
+            breakdown.with_softmax_speedup(0)

@@ -1,0 +1,55 @@
+"""Tests for the Fig. 5 dataflow description."""
+
+import pytest
+
+from repro.mapping.dataflow import DataflowStep, StepKind, max_shift_amount, softmax_dataflow
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+
+
+class TestSoftmaxDataflow:
+    def test_sixteen_steps(self):
+        steps = softmax_dataflow(BEST_PRECISION, 2048)
+        assert len(steps) == 16
+        assert [s.index for s in steps] == list(range(1, 17))
+
+    def test_step_kinds_follow_fig5(self):
+        steps = softmax_dataflow(BEST_PRECISION, 2048)
+        kinds = [s.kind for s in steps]
+        assert kinds[0] is StepKind.WRITE
+        assert kinds[1] is StepKind.SUBTRACT
+        assert kinds[13] is StepKind.REDUCTION
+        assert kinds[15] is StepKind.DIVIDE
+
+    def test_reduction_and_broadcast_are_not_elementwise(self):
+        steps = softmax_dataflow(BEST_PRECISION, 1024)
+        assert not steps[13].elementwise
+        assert not steps[14].elementwise
+        assert all(steps[i].elementwise for i in range(13))
+
+    def test_widths_track_precision(self):
+        for m in (4, 6, 8):
+            config = PrecisionConfig(m, 0, 16)
+            steps = softmax_dataflow(config, 512)
+            assert steps[1].width == m                      # subtract vstable
+            assert steps[11].width == 2 * m                 # write vc
+            assert steps[15].width == config.result_column_bits
+            assert steps[13].aux_width == 512               # reduced words
+
+    def test_invalid_sequence_length(self):
+        with pytest.raises(ValueError):
+            softmax_dataflow(BEST_PRECISION, 0)
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError):
+            DataflowStep(0, "bad", StepKind.WRITE, width=4)
+        with pytest.raises(ValueError):
+            DataflowStep(1, "bad", StepKind.WRITE, width=4, aux_width=-1)
+
+
+class TestMaxShiftAmount:
+    def test_m6_default(self):
+        # S = 7/63, vln2 = 6, most negative input is -63 -> q_max = 10.
+        assert max_shift_amount(PrecisionConfig(6, 0, 16)) == 10
+
+    def test_explicit_vln2(self):
+        assert max_shift_amount(PrecisionConfig(6, 0, 16), vln2=3) == 21

@@ -1,0 +1,42 @@
+"""Tests for the per-head AP deployment."""
+
+import pytest
+
+from repro.llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_7B
+from repro.mapping.deployment import ApDeployment
+
+
+class TestApDeployment:
+    @pytest.mark.parametrize(
+        "model,paper_area",
+        [(LLAMA2_7B, 0.64), (LLAMA2_13B, 0.81), (LLAMA2_70B, 1.28)],
+    )
+    def test_area_matches_paper_within_ten_percent(self, model, paper_area):
+        deployment = ApDeployment(model)
+        measured = deployment.total_area_mm2()
+        assert abs(measured - paper_area) / paper_area < 0.10
+
+    def test_one_ap_per_head(self):
+        assert ApDeployment(LLAMA2_7B).num_aps == 32
+        assert ApDeployment(LLAMA2_70B).num_aps == 64
+
+    def test_rows_per_ap(self):
+        deployment = ApDeployment(LLAMA2_7B, max_sequence_length=4096)
+        assert deployment.rows_per_ap == 2048
+
+    def test_sequence_beyond_provisioned_rejected(self):
+        deployment = ApDeployment(LLAMA2_7B, max_sequence_length=2048)
+        with pytest.raises(ValueError):
+            deployment.mapping(4096)
+
+    def test_summary_fields(self):
+        summary = ApDeployment(LLAMA2_7B).summary(1024)
+        assert summary.model == "Llama2-7b"
+        assert summary.sequence_length == 1024
+        assert summary.pass_latency_s > 0
+        assert summary.pass_energy_j > 0
+        assert summary.num_aps == 32
+
+    def test_pass_energy_grows_with_sequence(self):
+        deployment = ApDeployment(LLAMA2_7B)
+        assert deployment.pass_cost(4096).energy_j > deployment.pass_cost(256).energy_j

@@ -1,0 +1,83 @@
+"""Tests for the SoftmAP mapping: analytical cost and functional execution."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.softmap import SoftmAPMapping
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.softmax.integer_softmax import IntegerSoftmax
+from repro.softmax.reference import softmax
+
+
+class TestCostModel:
+    def test_sixteen_step_costs(self):
+        cost = SoftmAPMapping(BEST_PRECISION, sequence_length=2048).cost()
+        assert len(cost.steps) == 16
+        assert cost.cycles == pytest.approx(sum(s.cost.cycles for s in cost.steps))
+        assert cost.latency_s > 0
+        assert cost.energy_j > 0
+
+    def test_rows_follow_words_per_row(self):
+        assert SoftmAPMapping(BEST_PRECISION, 2048, words_per_row=2).rows == 1024
+        assert SoftmAPMapping(BEST_PRECISION, 2048, words_per_row=1).rows == 2048
+
+    def test_packing_two_words_doubles_elementwise_work(self):
+        one = SoftmAPMapping(BEST_PRECISION, 1024, words_per_row=1).cost()
+        two = SoftmAPMapping(BEST_PRECISION, 1024, words_per_row=2).cost()
+        assert two.cycles > one.cycles
+
+    def test_latency_nearly_flat_in_sequence_length(self):
+        short = SoftmAPMapping(BEST_PRECISION, 128).cost()
+        long = SoftmAPMapping(BEST_PRECISION, 4096).cost()
+        # Only the reduction's log term grows with the sequence length.
+        assert long.cycles < 1.1 * short.cycles
+
+    def test_energy_grows_with_sequence_length(self):
+        short = SoftmAPMapping(BEST_PRECISION, 128).cost()
+        long = SoftmAPMapping(BEST_PRECISION, 4096).cost()
+        assert long.energy_j > 10 * short.energy_j
+
+    def test_higher_precision_costs_more_cycles(self):
+        low = SoftmAPMapping(PrecisionConfig(4, 0, 16), 1024).cost()
+        high = SoftmAPMapping(PrecisionConfig(8, 0, 16), 1024).cost()
+        assert high.cycles > low.cycles
+
+    def test_reciprocal_division_is_cheaper(self):
+        restoring = SoftmAPMapping(BEST_PRECISION, 1024, division="restoring").cost()
+        reciprocal = SoftmAPMapping(BEST_PRECISION, 1024, division="reciprocal").cost()
+        assert reciprocal.cycles < restoring.cycles
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            SoftmAPMapping(BEST_PRECISION, 128, words_per_row=3)
+        with pytest.raises(ValueError):
+            SoftmAPMapping(BEST_PRECISION, 128, division="newton")
+
+    def test_general_multiplication_reduces_to_table_ii(self):
+        mapping = SoftmAPMapping(BEST_PRECISION, 128)
+        assert mapping.multiplication_cycles_general(6, 6) == \
+            mapping.cost_model.multiplication_cycles(6)
+
+
+class TestFunctionalExecution:
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    def test_bit_exact_against_software_pipeline(self, m):
+        rng = np.random.default_rng(m)
+        precision = PrecisionConfig(m, 0, 20)
+        scores = rng.normal(0, 2, 24)
+        mapping = SoftmAPMapping(precision, sequence_length=24)
+        hardware = mapping.execute_functional(scores)
+        software = IntegerSoftmax(precision, barrett_correction=False)(scores)
+        assert np.allclose(hardware, software, atol=1e-12)
+
+    def test_close_to_fp_softmax(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(0, 1.5, 32)
+        mapping = SoftmAPMapping(PrecisionConfig(8, 0, 20), sequence_length=32)
+        hardware = mapping.execute_functional(scores)
+        assert np.max(np.abs(hardware - softmax(scores))) < 0.03
+
+    def test_requires_one_dimensional_input(self):
+        mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=8)
+        with pytest.raises(ValueError):
+            mapping.execute_functional(np.zeros((2, 4)))

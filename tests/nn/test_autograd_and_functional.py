@@ -1,0 +1,153 @@
+"""Gradient checks and unit tests for the numpy autograd substrate."""
+
+import numpy as np
+import pytest
+
+from repro.nn.autograd import Parameter, Tensor, no_grad
+from repro.nn.functional import (
+    add,
+    cross_entropy,
+    embedding,
+    matmul,
+    mul,
+    rms_norm,
+    scale,
+    silu,
+    softmax_op,
+)
+from repro.nn.optim import Adam
+
+
+def numerical_gradient(function, parameter, eps=1e-6):
+    """Central finite differences of a scalar-valued function."""
+    grad = np.zeros_like(parameter.data)
+    flat = parameter.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = function().item()
+        flat[i] = original - eps
+        minus = function().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradients(build_loss, parameters, tolerance=1e-5):
+    loss = build_loss()
+    loss.backward()
+    analytic = []
+    for parameter in parameters:
+        assert parameter.grad is not None, parameter.name
+        analytic.append(parameter.grad.copy())
+    for parameter, grad in zip(parameters, analytic):
+        numeric = numerical_gradient(build_loss, parameter)
+        assert np.max(np.abs(grad - numeric)) < tolerance, parameter.name
+
+
+class TestGradChecks:
+    def test_matmul_add_mul_chain(self):
+        rng = np.random.default_rng(0)
+        a = Parameter(rng.normal(size=(3, 4)), name="a")
+        b = Parameter(rng.normal(size=(4, 2)), name="b")
+        c = Parameter(rng.normal(size=(3, 2)), name="c")
+
+        def loss():
+            a.zero_grad(); b.zero_grad(); c.zero_grad()
+            out = add(matmul(a, b), c)
+            out = mul(out, out)
+            return cross_entropy(out, np.array([0, 1, 0]))
+
+        check_gradients(loss, [a, b, c])
+
+    def test_matmul_transpose_b(self):
+        rng = np.random.default_rng(1)
+        a = Parameter(rng.normal(size=(3, 4)), name="a")
+        b = Parameter(rng.normal(size=(5, 4)), name="b")
+
+        def loss():
+            a.zero_grad(); b.zero_grad()
+            return cross_entropy(matmul(a, b, transpose_b=True), np.array([0, 2, 4]))
+
+        check_gradients(loss, [a, b])
+
+    def test_rms_norm_and_silu(self):
+        rng = np.random.default_rng(2)
+        x = Parameter(rng.normal(size=(4, 5)), name="x")
+        w = Parameter(np.ones(5), name="w")
+
+        def loss():
+            x.zero_grad(); w.zero_grad()
+            return cross_entropy(silu(rms_norm(x, w)), np.array([0, 1, 2, 3]))
+
+        check_gradients(loss, [x, w])
+
+    def test_softmax_and_scale(self):
+        rng = np.random.default_rng(3)
+        x = Parameter(rng.normal(size=(3, 6)), name="x")
+        mask = np.triu(np.full((3, 6), -1e30), k=4)
+
+        def loss():
+            x.zero_grad()
+            return cross_entropy(softmax_op(scale(x, 0.7), mask=mask), np.array([1, 0, 2]))
+
+        check_gradients(loss, [x])
+
+    def test_embedding(self):
+        rng = np.random.default_rng(4)
+        table = Parameter(rng.normal(size=(7, 3)), name="table")
+        indices = np.array([0, 3, 3, 6])
+
+        def loss():
+            table.zero_grad()
+            return cross_entropy(embedding(table, indices), np.array([0, 1, 2, 0]))
+
+        check_gradients(loss, [table])
+
+
+class TestTensorMechanics:
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            t.backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = Parameter(np.ones((2, 2)))
+        with no_grad():
+            out = matmul(a, a)
+        assert out.parents == []
+        assert out.backward_fn is None
+
+    def test_gradient_accumulates_over_reuse(self):
+        a = Parameter(np.array([[2.0]]))
+        out = add(a, a)
+        out.backward(np.array([[1.0]]))
+        assert a.grad[0, 0] == pytest.approx(2.0)
+
+    def test_cross_entropy_validates_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros(3)), np.array([0]))
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        parameter = Parameter(np.zeros(3))
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            diff = parameter.data - target
+            parameter.grad = 2 * diff
+            optimizer.step()
+        assert np.max(np.abs(parameter.data - target)) < 1e-2
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_invalid_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], learning_rate=0)

@@ -1,0 +1,96 @@
+"""Tests for the Table I precision configurations."""
+
+import pytest
+
+from repro.quant.precision import (
+    BEST_PRECISION,
+    PrecisionConfig,
+    TABLE_I_M_VALUES,
+    TABLE_I_N_VALUES,
+    TABLE_I_VCORR_DELTAS,
+    table_i,
+)
+
+
+class TestPrecisionConfig:
+    def test_best_precision_is_paper_choice(self):
+        assert BEST_PRECISION.input_bits == 6
+        assert BEST_PRECISION.vcorr_delta == 0
+        assert BEST_PRECISION.sum_extra_bits == 16
+
+    @pytest.mark.parametrize("m", TABLE_I_M_VALUES)
+    def test_basic_widths(self, m):
+        config = PrecisionConfig(m, 0, 8)
+        assert config.v_bits == m
+        assert config.vstable_bits == m
+        assert config.vln2_bits == 4
+        assert config.vb_bits == m
+        assert config.vc_bits == 2 * m
+
+    @pytest.mark.parametrize(
+        "m,delta,expected_poly",
+        [(4, 0, 11), (6, 0, 15), (8, 0, 19),
+         (4, 1, 13), (6, 1, 17), (8, 1, 21),
+         (4, 2, 15), (6, 2, 19), (8, 2, 23)],
+    )
+    def test_polynomial_width_matches_table_i(self, m, delta, expected_poly):
+        assert PrecisionConfig(m, delta, 8).polynomial_bits == expected_poly
+
+    @pytest.mark.parametrize(
+        "m,delta,expected",
+        [(4, 0, 10), (6, 0, 12), (8, 0, 14),
+         (4, 1, 12), (6, 1, 14), (8, 1, 16),
+         (4, 2, 14), (6, 2, 16), (8, 2, 18)],
+    )
+    def test_vapprox_width_matches_table_i(self, m, delta, expected):
+        assert PrecisionConfig(m, delta, 8).vapprox_bits == expected
+
+    @pytest.mark.parametrize("n", TABLE_I_N_VALUES)
+    @pytest.mark.parametrize("m", TABLE_I_M_VALUES)
+    def test_sum_width_is_vapprox_plus_n(self, m, n):
+        config = PrecisionConfig(m, 0, n)
+        assert config.sum_bits == config.vapprox_bits + n
+
+    def test_table_iii_sum_examples(self):
+        # Spot-check a few cells of the paper's Table I sum block.
+        assert PrecisionConfig(4, 0, 8).sum_bits == 18
+        assert PrecisionConfig(8, 0, 22 - 14).sum_bits == 22
+        assert PrecisionConfig(8, 2, 20).sum_bits == 38
+
+    def test_result_column_is_2m_plus_12(self):
+        assert PrecisionConfig(6, 0, 8).result_column_bits == 24
+        assert PrecisionConfig(8, 0, 8).result_column_bits == 28
+
+    def test_required_sum_bits_for_sequence(self):
+        config = PrecisionConfig(6, 0, 16)
+        assert config.required_sum_bits_for_sequence(2048) == 10
+        assert config.required_sum_bits_for_sequence(2) == 1
+
+    def test_invalid_vcorr_delta(self):
+        with pytest.raises(ValueError):
+            PrecisionConfig(6, 3, 16)
+
+    def test_invalid_input_bits(self):
+        with pytest.raises(ValueError):
+            PrecisionConfig(1, 0, 16)
+
+    def test_label(self):
+        assert PrecisionConfig(6, 0, 16).label() == "M=6, vcorr=M, N=16"
+        assert PrecisionConfig(8, 2, 12).label() == "M=8, vcorr=M+2, N=12"
+
+    def test_as_dict_contains_all_quantities(self):
+        d = PrecisionConfig(6, 1, 12).as_dict()
+        for key in ("v", "vstable", "vln2", "vb", "vc", "vcorr", "vapprox", "sum"):
+            assert key in d
+
+
+class TestTableI:
+    def test_table_i_has_nine_columns(self):
+        entries = table_i()
+        assert len(entries) == len(TABLE_I_M_VALUES) * len(TABLE_I_VCORR_DELTAS)
+
+    def test_table_i_sum_rows_cover_all_n(self):
+        entries = table_i()
+        for entry in entries:
+            for n in TABLE_I_N_VALUES:
+                assert f"sum(N={n})" in entry.widths

@@ -1,0 +1,56 @@
+"""Tests for Barrett reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.softmax.barrett import BarrettReducer
+
+
+class TestBarrettReducer:
+    def test_mu_definition(self):
+        reducer = BarrettReducer(divisor=6, shift_bits=12)
+        assert reducer.mu == (1 << 12) // 6
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=4000))
+    def test_corrected_quotient_is_exact(self, divisor, operand):
+        reducer = BarrettReducer(divisor=divisor, shift_bits=12, correct=True)
+        assert reducer.quotient(operand) == operand // divisor
+        q, r = reducer.divmod(operand)
+        assert q * divisor + r == operand
+        assert 0 <= r < divisor
+
+    @given(st.integers(min_value=1, max_value=31),
+           st.lists(st.integers(min_value=0, max_value=1023), min_size=1, max_size=16))
+    def test_vectorised_matches_scalar(self, divisor, operands):
+        reducer = BarrettReducer(divisor=divisor, shift_bits=10)
+        array = np.asarray(operands)
+        vector_q = reducer.quotient(array)
+        for value, q in zip(operands, np.atleast_1d(vector_q)):
+            assert q == value // divisor
+
+    def test_uncorrected_never_overestimates(self):
+        reducer = BarrettReducer(divisor=6, shift_bits=12, correct=False)
+        z = np.arange(0, 4096)
+        estimate = np.asarray(reducer.quotient(z))
+        exact = z // 6
+        assert np.all(estimate <= exact)
+
+    def test_max_quotient_error_small_in_algorithm_range(self):
+        # The range used by Algorithm 1 (operands < 2**M) keeps the
+        # uncorrected estimate within one of the exact quotient.
+        reducer = BarrettReducer(divisor=6, shift_bits=12, correct=False)
+        assert reducer.max_quotient_error(255) <= 1
+
+    def test_negative_operand_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(divisor=3, shift_bits=8).quotient(-1)
+
+    def test_invalid_divisor_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(divisor=0, shift_bits=8)
+
+    def test_remainder(self):
+        reducer = BarrettReducer(divisor=7, shift_bits=16)
+        assert reducer.remainder(30) == 2

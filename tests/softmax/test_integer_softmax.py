@@ -1,0 +1,150 @@
+"""Tests for the full integer-only softmax pipeline (Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.softmax.integer_softmax import IntegerSoftmax, integer_softmax
+from repro.softmax.metrics import kl_divergence, max_abs_error
+from repro.softmax.reference import softmax
+
+
+class TestBasicBehaviour:
+    def test_output_close_to_fp_softmax_m8(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0, 2, (6, 128))
+        approx = IntegerSoftmax(PrecisionConfig(8, 0, 16))(x)
+        assert max_abs_error(approx, softmax(x)) < 0.02
+
+    def test_sums_close_to_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (4, 256))
+        probabilities = IntegerSoftmax(BEST_PRECISION)(x)
+        assert np.allclose(probabilities.sum(axis=-1), 1.0, atol=2e-3)
+
+    def test_probabilities_non_negative(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(0, 3, (3, 64))
+        assert np.all(IntegerSoftmax(BEST_PRECISION)(x) >= 0)
+
+    def test_monotone_in_logits(self):
+        x = np.linspace(-4, 0, 32)
+        probabilities = IntegerSoftmax(PrecisionConfig(8, 0, 16))(x)
+        assert probabilities[-1] == probabilities.max()
+
+    def test_axis_argument(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(0, 1, (8, 5))
+        p = IntegerSoftmax(BEST_PRECISION)(x, axis=0)
+        assert np.allclose(p.sum(axis=0), 1.0, atol=2e-3)
+
+    def test_functional_wrapper(self):
+        x = np.array([0.0, -1.0, -2.0])
+        assert np.allclose(
+            integer_softmax(x, BEST_PRECISION),
+            IntegerSoftmax(BEST_PRECISION)(x),
+        )
+
+    def test_scalar_input_rejected(self):
+        with pytest.raises(ValueError):
+            IntegerSoftmax(BEST_PRECISION)(np.float64(1.0))
+
+    def test_precision_type_checked(self):
+        with pytest.raises(TypeError):
+            IntegerSoftmax(precision="M=6")
+
+
+class TestPrecisionOrdering:
+    def test_higher_m_is_more_accurate(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(0, 2, (8, 512))
+        reference = softmax(x)
+        errors = {
+            m: kl_divergence(reference, IntegerSoftmax(PrecisionConfig(m, 0, 16))(x))
+            for m in (4, 6, 8)
+        }
+        assert errors[8] < errors[6] < errors[4]
+
+    def test_vcorr_width_has_no_effect(self):
+        # The paper observes that varying the vcorr precision does not
+        # change perplexity at all; the outputs are bit-identical.
+        rng = np.random.default_rng(5)
+        x = rng.normal(0, 2, (4, 128))
+        outputs = [
+            IntegerSoftmax(PrecisionConfig(6, delta, 16))(x) for delta in (0, 1, 2)
+        ]
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[1], outputs[2])
+
+
+class TestSumHeadroom:
+    def test_small_n_saturates_on_flat_long_rows(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(0, 0.3, (4, 2048))  # nearly flat attention rows
+        result_small = IntegerSoftmax(PrecisionConfig(6, 0, 8)).forward(x)
+        result_large = IntegerSoftmax(PrecisionConfig(6, 0, 16)).forward(x)
+        assert result_small.saturated_fraction > 0.9
+        assert result_large.saturated_fraction == 0.0
+        # Saturation inflates the probability mass above one.
+        assert np.all(result_small.probabilities.sum(axis=-1) > 1.05)
+        assert np.allclose(result_large.probabilities.sum(axis=-1), 1.0, atol=2e-3)
+
+    def test_n_16_and_20_identical(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(0, 1, (4, 1024))
+        p16 = IntegerSoftmax(PrecisionConfig(6, 0, 16))(x)
+        p20 = IntegerSoftmax(PrecisionConfig(6, 0, 20))(x)
+        assert np.array_equal(p16, p20)
+
+    def test_wrap_overflow_mode(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(0, 0.2, (2, 2048))
+        wrapped = IntegerSoftmax(PrecisionConfig(6, 0, 8), sum_overflow="wrap").forward(x)
+        assert wrapped.saturated_fraction > 0.9
+
+    def test_sum_register_bits_definition(self):
+        sm = IntegerSoftmax(PrecisionConfig(6, 0, 16))
+        assert sm.sum_register_bits == int(sm.max_summand).bit_length() + 16
+        assert sm.sum_limit == (sm.max_summand + 1) * (1 << 16) - 1
+
+
+class TestQuantizedEntryPoint:
+    def test_forward_quantized_matches_forward(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(0, 2, (3, 64))
+        sm = IntegerSoftmax(BEST_PRECISION)
+        full = sm.forward(x)
+        via_quantized = sm.forward_quantized(full.quantized_input.values)
+        assert np.array_equal(full.output_int, via_quantized.output_int)
+
+    def test_forward_quantized_rejects_floats(self):
+        sm = IntegerSoftmax(BEST_PRECISION)
+        with pytest.raises(TypeError):
+            sm.forward_quantized(np.array([-1.0, 0.0]))
+
+    def test_forward_quantized_rejects_positive(self):
+        sm = IntegerSoftmax(BEST_PRECISION)
+        with pytest.raises(ValueError):
+            sm.forward_quantized(np.array([1, 0]))
+
+
+class TestProperties:
+    @given(arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 64)),
+                  elements=st.floats(min_value=-30, max_value=30)))
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_distribution_like(self, x):
+        probabilities = IntegerSoftmax(BEST_PRECISION)(x)
+        assert np.all(probabilities >= 0)
+        assert np.all(probabilities.sum(axis=-1) <= 1.0 + 1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_invariance_property(self, seed):
+        # Softmax is shift invariant and the pipeline stabilises inputs, so
+        # adding a constant must not change the output.
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 2, 32)
+        sm = IntegerSoftmax(BEST_PRECISION)
+        assert np.array_equal(sm(x), sm(x + 37.5))

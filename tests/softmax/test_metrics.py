@@ -1,0 +1,60 @@
+"""Tests for the softmax error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.softmax.metrics import (
+    cosine_similarity,
+    kl_divergence,
+    max_abs_error,
+    mean_abs_error,
+    mean_squared_error,
+)
+
+
+class TestElementwiseMetrics:
+    def test_zero_for_identical(self):
+        x = np.random.default_rng(0).random((3, 4))
+        assert max_abs_error(x, x) == 0.0
+        assert mean_abs_error(x, x) == 0.0
+        assert mean_squared_error(x, x) == 0.0
+
+    def test_known_values(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([0.0, 4.0])
+        assert max_abs_error(a, b) == 2.0
+        assert mean_abs_error(a, b) == 1.5
+        assert mean_squared_error(a, b) == 2.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            max_abs_error(np.zeros(2), np.zeros(3))
+
+
+class TestKlDivergence:
+    def test_zero_for_identical_distributions(self):
+        p = np.array([[0.2, 0.3, 0.5]])
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different_distributions(self):
+        p = np.array([[0.9, 0.1]])
+        q = np.array([[0.5, 0.5]])
+        assert kl_divergence(p, q) > 0
+
+    def test_renormalises_inputs(self):
+        p = np.array([[2.0, 2.0]])
+        q = np.array([[1.0, 1.0]])
+        assert kl_divergence(p, q) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCosineSimilarity:
+    def test_identical(self):
+        x = np.random.default_rng(1).random(10)
+        assert cosine_similarity(x, x) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vectors(self):
+        assert cosine_similarity(np.zeros(3), np.zeros(3)) == 1.0
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0

@@ -1,0 +1,81 @@
+"""Tests for the integer i-exp polynomial."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.softmax.polynomial import IExpPolynomial
+
+
+class TestConstants:
+    def test_offline_constants_for_m6(self):
+        poly = IExpPolynomial(input_bits=6)
+        constants = poly.constants(7.0 / 63.0)
+        assert constants.vln2 == int(np.floor(np.log(2.0) / (7.0 / 63.0)))
+        assert constants.mu == (1 << 12) // constants.vln2
+        assert constants.vb == int(np.floor(1.353 / (7.0 / 63.0)))
+        assert constants.output_scale == pytest.approx(0.3585 * (7.0 / 63.0) ** 2)
+
+    def test_scale_too_coarse_rejected(self):
+        with pytest.raises(ValueError):
+            IExpPolynomial(input_bits=4).constants(5.0)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            IExpPolynomial(input_bits=1)
+
+
+class TestIExpAccuracy:
+    @pytest.mark.parametrize("m,max_rel_error", [(6, 0.25), (8, 0.08)])
+    def test_integer_iexp_tracks_exponential(self, m, max_rel_error):
+        scale = 7.0 / (2 ** m - 1)
+        poly = IExpPolynomial(input_bits=m)
+        constants = poly.constants(scale)
+        vstable = -np.arange(0, 2 ** m, dtype=np.int64)
+        vapprox, vcorr, quotient = poly.iexp_int(vstable, constants)
+        approx = vapprox * constants.output_scale
+        exact = np.exp(vstable * scale)
+        # Relative error bounded for the dominant (large) values; the bound
+        # is looser at M=6 because the right shift truncates more bits.
+        mask = exact > 0.05
+        assert np.max(np.abs(approx[mask] - exact[mask]) / exact[mask]) < max_rel_error
+        assert np.all(vcorr <= 0)
+        assert np.all(vcorr > -constants.vln2)
+        assert np.all(quotient >= 0)
+
+    def test_scalar_inputs_return_python_ints(self):
+        poly = IExpPolynomial(input_bits=6)
+        constants = poly.constants(0.1)
+        vapprox, vcorr, quotient = poly.iexp_int(-5, constants)
+        assert isinstance(vapprox, int)
+        assert isinstance(vcorr, int)
+        assert isinstance(quotient, int)
+
+    def test_positive_input_rejected(self):
+        poly = IExpPolynomial(input_bits=6)
+        constants = poly.constants(0.1)
+        with pytest.raises(ValueError):
+            poly.iexp_int(np.array([1]), constants)
+
+    def test_float_reference_rejects_positive(self):
+        with pytest.raises(ValueError):
+            IExpPolynomial(6).iexp_float(np.array([0.5]))
+
+    @given(st.integers(min_value=0, max_value=63))
+    @settings(max_examples=30)
+    def test_monotonicity_property(self, magnitude):
+        # exp is monotone: a more negative input never yields a larger
+        # integer approximation.
+        poly = IExpPolynomial(input_bits=6)
+        constants = poly.constants(7.0 / 63.0)
+        values = -np.array([magnitude, min(63, magnitude + 1)], dtype=np.int64)
+        vapprox, _, _ = poly.iexp_int(values, constants)
+        assert vapprox[1] <= vapprox[0]
+
+    def test_polynomial_int_matches_formula(self):
+        poly = IExpPolynomial(input_bits=6)
+        constants = poly.constants(7.0 / 63.0)
+        vcorr = np.array([-3, -1, 0])
+        out = poly.polynomial_int(vcorr, constants)
+        expected = (vcorr + constants.vb) ** 2 + constants.vc
+        assert np.array_equal(out, expected)

@@ -1,0 +1,62 @@
+"""Tests for the floating-point reference softmax implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.softmax.reference import float_iexp_softmax, log_softmax, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        x = np.random.default_rng(0).normal(0, 3, (5, 17))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_matches_direct_formula_small_inputs(self):
+        x = np.array([0.1, 0.2, 0.3])
+        expected = np.exp(x) / np.exp(x).sum()
+        assert np.allclose(softmax(x), expected)
+
+    def test_stable_for_large_logits(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        out = softmax(x)
+        assert np.all(np.isfinite(out))
+        assert out[1] > out[0]
+
+    def test_shift_invariance(self):
+        x = np.random.default_rng(1).normal(0, 1, 10)
+        assert np.allclose(softmax(x), softmax(x + 123.0))
+
+    def test_axis_argument(self):
+        x = np.random.default_rng(2).normal(0, 1, (3, 4))
+        assert np.allclose(softmax(x, axis=0).sum(axis=0), 1.0)
+
+    @given(arrays(np.float64, (4, 9),
+                  elements=st.floats(min_value=-50, max_value=50)))
+    def test_probabilities_property(self, x):
+        p = softmax(x)
+        assert np.all(p >= 0)
+        assert np.allclose(p.sum(axis=-1), 1.0)
+
+
+class TestLogSoftmax:
+    def test_log_of_softmax(self):
+        x = np.random.default_rng(3).normal(0, 2, (2, 8))
+        assert np.allclose(log_softmax(x), np.log(softmax(x)))
+
+    def test_logsumexp_is_zero(self):
+        x = np.random.default_rng(4).normal(0, 2, 16)
+        assert np.isclose(np.exp(log_softmax(x)).sum(), 1.0)
+
+
+class TestFloatIexpSoftmax:
+    def test_close_to_exact_softmax(self):
+        x = np.random.default_rng(5).normal(0, 2, (4, 64))
+        approx = float_iexp_softmax(x)
+        exact = softmax(x)
+        assert np.max(np.abs(approx - exact)) < 5e-3
+
+    def test_sums_to_one(self):
+        x = np.random.default_rng(6).normal(0, 1, 32)
+        assert np.isclose(float_iexp_softmax(x).sum(), 1.0)

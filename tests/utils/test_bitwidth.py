@@ -1,0 +1,102 @@
+"""Unit and property tests for bit-width helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitwidth import (
+    bits_for_signed,
+    bits_for_unsigned,
+    fits_signed,
+    fits_unsigned,
+    from_twos_complement,
+    saturate_signed,
+    saturate_unsigned,
+    signed_max,
+    signed_min,
+    to_twos_complement,
+    unsigned_max,
+    wrap_signed,
+    wrap_unsigned,
+)
+
+
+class TestRanges:
+    @pytest.mark.parametrize("bits,expected", [(1, 0), (2, 1), (8, 127), (16, 32767)])
+    def test_signed_max(self, bits, expected):
+        assert signed_max(bits) == expected
+
+    @pytest.mark.parametrize("bits,expected", [(1, -1), (2, -2), (8, -128), (16, -32768)])
+    def test_signed_min(self, bits, expected):
+        assert signed_min(bits) == expected
+
+    @pytest.mark.parametrize("bits,expected", [(1, 1), (4, 15), (8, 255), (12, 4095)])
+    def test_unsigned_max(self, bits, expected):
+        assert unsigned_max(bits) == expected
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_invalid_width_rejected(self, bad):
+        with pytest.raises(ValueError):
+            signed_max(bad)
+        with pytest.raises(ValueError):
+            unsigned_max(bad)
+
+
+class TestBitsFor:
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 1), (2, 2), (255, 8), (256, 9)])
+    def test_bits_for_unsigned(self, value, expected):
+        assert bits_for_unsigned(value) == expected
+
+    def test_bits_for_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_for_unsigned(-1)
+
+    @pytest.mark.parametrize("value,expected", [(0, 1), (1, 2), (-1, 1), (127, 8), (-128, 8), (128, 9)])
+    def test_bits_for_signed(self, value, expected):
+        assert bits_for_signed(value) == expected
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_signed_roundtrip_property(self, value):
+        bits = bits_for_signed(value)
+        assert fits_signed(value, bits)
+        if bits > 1:
+            assert not fits_signed(value, bits - 1) or value in (0, -1)
+
+
+class TestSaturateWrap:
+    def test_saturate_signed_scalar(self):
+        assert saturate_signed(300, 8) == 127
+        assert saturate_signed(-300, 8) == -128
+        assert saturate_signed(5, 8) == 5
+
+    def test_saturate_unsigned_array(self):
+        values = np.array([-3, 0, 255, 300])
+        out = saturate_unsigned(values, 8)
+        assert list(out) == [0, 0, 255, 255]
+
+    def test_wrap_unsigned(self):
+        assert wrap_unsigned(256, 8) == 0
+        assert wrap_unsigned(-1, 8) == 255
+
+    def test_wrap_signed(self):
+        assert wrap_signed(128, 8) == -128
+        assert wrap_signed(-129, 8) == 127
+        assert list(wrap_signed(np.array([128, -129, 5]), 8)) == [-128, 127, 5]
+
+    @given(st.integers(min_value=-(2**30), max_value=2**30), st.integers(min_value=2, max_value=20))
+    def test_wrap_signed_in_range_property(self, value, bits):
+        wrapped = wrap_signed(value, bits)
+        assert signed_min(bits) <= wrapped <= signed_max(bits)
+        assert (wrapped - value) % (1 << bits) == 0
+
+    @given(st.integers(min_value=-(2**15), max_value=2**15 - 1))
+    def test_twos_complement_roundtrip(self, value):
+        pattern = to_twos_complement(value, 16)
+        assert fits_unsigned(pattern, 16)
+        assert from_twos_complement(pattern, 16) == value
+
+    def test_twos_complement_overflow_raises(self):
+        with pytest.raises(OverflowError):
+            to_twos_complement(200, 8)
+        with pytest.raises(OverflowError):
+            from_twos_complement(512, 8)
