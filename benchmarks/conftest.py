@@ -6,9 +6,24 @@ the rendered table so the numbers can be compared against the paper (they
 are also recorded in EXPERIMENTS.md).
 """
 
+import pathlib
+
 import pytest
 
 from repro.experiments import run_normalized_comparison
+
+
+BENCHMARKS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Tag every test under ``benchmarks/`` with the ``bench`` marker so CI
+    tiers can select or deselect the whole table/figure-regeneration tree
+    with ``-m bench`` / ``-m "not bench"`` without listing paths.  (The hook
+    receives the entire session's items, so filter by path.)"""
+    for item in items:
+        if BENCHMARKS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

@@ -1,6 +1,8 @@
 """Setup shim for environments without the `wheel` package.
 
-The project metadata lives in pyproject.toml; this file only exists so that
+This file carries the (minimal) project metadata on purpose: a
+pyproject.toml would switch editable installs onto PEP 517 build isolation,
+breaking offline machines.  It also exists so that
 `pip install -e .` can fall back to the legacy setuptools develop path on
 offline machines where PEP 660 editable builds (which require `wheel`) are
 unavailable.

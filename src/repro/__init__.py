@@ -6,7 +6,13 @@ for Integer-Only Softmax on Associative Processors* (DATE 2025), including:
 * the integer-only softmax approximation (:mod:`repro.softmax`,
   :mod:`repro.quant`);
 * a functional and analytical Associative Processor simulator
-  (:mod:`repro.ap`);
+  (:mod:`repro.ap`) with two interchangeable execution backends — the
+  bit-serial ``"reference"`` ground truth and the bit-identical, much
+  faster ``"vectorized"`` packed-word engine
+  (:class:`~repro.ap.engine.BitPlaneEngine`); batched ``(batch, seq)``
+  softmax tensors map onto the AP in one call via
+  :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
+  or :meth:`~repro.softmax.integer_softmax.IntegerSoftmax.forward_on_ap`;
 * the SoftmAP dataflow mapping and hardware characterization
   (:mod:`repro.mapping`);
 * analytical GPU baselines for A100 / RTX3090 (:mod:`repro.gpu`);

@@ -17,6 +17,21 @@ This package provides two complementary models:
   implementing the Table II runtime formulas and the 16 nm energy/area
   parameters used for the hardware characterization (Figs. 6-8,
   Tables V-VI).
+
+The functional simulator runs under two interchangeable backends selected
+by ``AssociativeProcessor(..., backend=...)``:
+
+* ``"reference"`` (default) — bit-serial LUT sweeps in a Python loop over
+  bit positions; the paper-faithful ground truth, and the only backend that
+  records exact data-dependent write activity (``written_bits`` /
+  ``row_writes``);
+* ``"vectorized"`` — the packed-word :class:`~repro.ap.engine.BitPlaneEngine`
+  executing whole row-batches per numpy operation, bit-identical to the
+  reference (the differential suite in ``tests/ap/test_engine_parity.py``
+  enforces this) with exact compare/write cycle counts, at orders of
+  magnitude less wall-clock cost.  Use it for anything that runs softmax
+  vectors at realistic sizes; unsupported column layouts fall back to the
+  reference sweep automatically.
 """
 
 from repro.ap.cam import CamArray, CamStats
@@ -31,6 +46,7 @@ from repro.ap.lut import (
     SUB_LUT,
     COPY_LUT,
 )
+from repro.ap.engine import BitPlaneEngine
 from repro.ap.fields import Field, FieldAllocator
 from repro.ap.processor import AssociativeProcessor
 from repro.ap.processor2d import AssociativeProcessor2D
@@ -49,6 +65,7 @@ __all__ = [
     "ADD_LUT",
     "SUB_LUT",
     "COPY_LUT",
+    "BitPlaneEngine",
     "Field",
     "FieldAllocator",
     "AssociativeProcessor",

@@ -26,6 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ap.cam import CamArray, CamStats
+from repro.ap.engine import BitPlaneEngine
 from repro.ap.fields import Field, FieldAllocator
 from repro.ap.lut import (
     ADD_LUT,
@@ -37,7 +38,11 @@ from repro.ap.lut import (
     SUB_LUT,
     XOR_LUT,
 )
-from repro.utils.validation import check_non_negative_int, check_positive_int
+from repro.utils.validation import (
+    check_in_choices,
+    check_non_negative_int,
+    check_positive_int,
+)
 
 __all__ = ["AssociativeProcessor"]
 
@@ -53,6 +58,15 @@ class AssociativeProcessor:
         Total number of bit columns available for fields.  Two extra
         service columns (a constant-zero column and a carry/borrow state
         column) are allocated automatically on top of this number.
+    backend:
+        ``"reference"`` (default) executes every operation as bit-serial
+        compare/write LUT sweeps — the paper-faithful ground truth.
+        ``"vectorized"`` executes the same instruction set through the
+        packed-word :class:`~repro.ap.engine.BitPlaneEngine`, which computes
+        bit-identical results (and identical compare/write cycle counts)
+        orders of magnitude faster; operations the engine cannot express
+        (e.g. aliased operand columns) transparently fall back to the
+        reference sweep.
     """
 
     #: Name of the always-zero service column (used for zero extension).
@@ -62,15 +76,20 @@ class AssociativeProcessor:
     #: Name of the flag service column (used by division).
     FLAG = "__flag__"
 
-    def __init__(self, rows: int, columns: int) -> None:
+    #: Execution backends accepted by the constructor.
+    BACKENDS = ("reference", "vectorized")
+
+    def __init__(self, rows: int, columns: int, backend: str = "reference") -> None:
         check_positive_int(rows, "rows")
         check_positive_int(columns, "columns")
+        self.backend = check_in_choices(backend, self.BACKENDS, "backend")
         service_columns = 3
         self.cam = CamArray(rows, columns + service_columns)
         self.allocator = FieldAllocator(columns + service_columns)
         self._zero_column = self.allocator.allocate(self.ZERO, 1, signed=False).columns[0]
         self._state_column = self.allocator.allocate(self.STATE, 1, signed=False).columns[0]
         self._flag_column = self.allocator.allocate(self.FLAG, 1, signed=False).columns[0]
+        self._engine = BitPlaneEngine(self) if self.backend == "vectorized" else None
 
     # ------------------------------------------------------------------ #
     # Introspection                                                        #
@@ -202,26 +221,52 @@ class AssociativeProcessor:
             return field.columns[position]
         return self._zero_column
 
+    def _try_logic(
+        self,
+        lut: Lut,
+        a: Field,
+        r: Field,
+        b: Optional[Field] = None,
+        condition: Optional[Tuple[int, int]] = None,
+        row_mask: Optional[np.ndarray] = None,
+    ) -> bool:
+        """Run a clear+sweep logic operation on the vectorized engine if the
+        backend is selected and the operand layout is expressible."""
+        if self._engine is None or not self._engine.supports_logic(
+            lut, a, r, b, condition
+        ):
+            return False
+        self._engine.logic(lut, a, r, b=b, condition=condition, row_mask=row_mask)
+        return True
+
     # ------------------------------------------------------------------ #
     # Logic operations                                                     #
     # ------------------------------------------------------------------ #
     def xor(self, a: Field, b: Field, r: Field) -> None:
         """``r <- a XOR b`` (Fig. 3).  ``r`` is cleared first."""
+        if self._try_logic(XOR_LUT, a, r, b=b):
+            return
         self.clear_field(r)
         self._sweep_logic(XOR_LUT, a, r, b=b)
 
     def and_(self, a: Field, b: Field, r: Field) -> None:
         """``r <- a AND b``."""
+        if self._try_logic(AND_LUT, a, r, b=b):
+            return
         self.clear_field(r)
         self._sweep_logic(AND_LUT, a, r, b=b)
 
     def or_(self, a: Field, b: Field, r: Field) -> None:
         """``r <- a OR b``."""
+        if self._try_logic(OR_LUT, a, r, b=b):
+            return
         self.clear_field(r)
         self._sweep_logic(OR_LUT, a, r, b=b)
 
     def not_(self, a: Field, r: Field) -> None:
         """``r <- NOT a`` (bitwise complement over ``r``'s width)."""
+        if self._try_logic(NOT_LUT, a, r):
+            return
         self.clear_field(r)
         self._sweep_logic(NOT_LUT, a, r)
 
@@ -233,6 +278,8 @@ class AssociativeProcessor:
         row_mask: Optional[np.ndarray] = None,
     ) -> None:
         """``dst <- src`` (zero-extended / truncated to ``dst``'s width)."""
+        if self._try_logic(COPY_LUT, src, dst, condition=condition, row_mask=row_mask):
+            return
         self.clear_field(dst)
         self._sweep_logic(COPY_LUT, src, dst, condition=condition, row_mask=row_mask)
 
@@ -254,10 +301,16 @@ class AssociativeProcessor:
         that bit are updated (used for the conditional adds of shift-add
         multiplication and restoring division).
         """
-        self._clear_state()
-        bits = width if width is not None else b.bits
         if width is not None and width > b.bits:
             raise ValueError("width cannot exceed the destination width")
+        if (
+            self._engine is not None
+            and self._engine.supports_add(a, b, condition, width)
+        ):
+            self._engine.add(a, b, condition=condition, row_mask=row_mask, width=width)
+            return
+        self._clear_state()
+        bits = width if width is not None else b.bits
         for i in range(bits):
             roles = {
                 "a": self._column_or_zero(a, i),
@@ -279,6 +332,11 @@ class AssociativeProcessor:
         i.e. ``a < b``), which the caller can use as a comparison outcome —
         this is how restoring division decides whether to restore.
         """
+        if (
+            self._engine is not None
+            and self._engine.supports_add(b, a, condition, None)
+        ):
+            return self._engine.subtract(a, b, condition=condition, row_mask=row_mask)
         self._clear_state()
         for i in range(a.bits):
             roles = {
@@ -314,6 +372,9 @@ class AssociativeProcessor:
                 "copy one operand first (the dataflow's explicit Copy step), "
                 "or use square() which does so"
             )
+        if self._engine is not None and self._engine.supports_multiply(a, b, r):
+            self._engine.multiply(a, b, r)
+            return
         self.clear_field(r)
         for j in range(b.bits):
             predicate = (b.columns[j], 1)
@@ -367,6 +428,9 @@ class AssociativeProcessor:
         stages = max_shift_bits if max_shift_bits is not None else shift.bits
         if stages > shift.bits:
             raise ValueError("max_shift_bits cannot exceed the shift field width")
+        if self._engine is not None and self._engine.supports_shift(src, shift, dst):
+            self._engine.shift_right_variable(src, shift, dst, stages)
+            return
         self.copy(src, dst)
         for k in range(stages):
             offset = 1 << k
@@ -427,6 +491,11 @@ class AssociativeProcessor:
             raise ValueError(
                 f"remainder needs at least {divisor.bits + 1} bits, has {remainder.bits}"
             )
+        if self._engine is not None and self._engine.supports_divide(
+            dividend, divisor, quotient, remainder, fraction_bits
+        ):
+            self._engine.divide(dividend, divisor, quotient, remainder, fraction_bits)
+            return
         self.clear_field(quotient)
         self.clear_field(remainder)
         all_rows = np.ones(self.rows, dtype=bool)

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.ap.fields import Field
 from repro.ap.processor import AssociativeProcessor
-from repro.utils.validation import check_non_negative_int
+from repro.utils.validation import check_non_negative_int, check_positive_int
 
 __all__ = ["AssociativeProcessor2D"]
 
@@ -46,25 +46,7 @@ class AssociativeProcessor2D(AssociativeProcessor):
         levels (useful for cross-checking against the ``log2(L/2)`` term of
         Table II).
         """
-        levels = max(1, int(np.ceil(np.log2(self.rows)))) if self.rows > 1 else 0
-        needed = field.bits + max(levels, 1)
-        if dest.bits < min(needed, field.bits + levels):
-            raise ValueError(
-                f"destination field {dest.name!r} needs at least "
-                f"{field.bits + levels} bits for a {self.rows}-row reduction"
-            )
-        # Copy the operand into the (wider) destination so partial sums have
-        # room to grow; the copy is a normal word-parallel column operation.
-        self.copy(field, dest)
-        stride = 1
-        level = 0
-        while stride < self.rows:
-            sources = np.arange(stride, self.rows, 2 * stride)
-            targets = sources - stride
-            self._row_pair_add(dest, targets, sources)
-            stride *= 2
-            level += 1
-        return level
+        return self.reduce_sum_segmented(field, dest, self.rows)
 
     def broadcast_row(self, field: Field, source_row: int = 0) -> None:
         """Copy ``field`` of ``source_row`` into every row (step 15)."""
@@ -83,6 +65,88 @@ class AssociativeProcessor2D(AssociativeProcessor):
         every row of ``dest`` — steps 14 and 15 of the dataflow fused."""
         levels = self.reduce_sum(field, dest)
         self.broadcast_row(dest, source_row=0)
+        return levels
+
+    # ------------------------------------------------------------------ #
+    # Segmented (batched) reduction and broadcast                          #
+    # ------------------------------------------------------------------ #
+    def reduce_sum_segmented(
+        self, field: Field, dest: Field, segment_length: int
+    ) -> int:
+        """Sum ``field`` within each contiguous block of ``segment_length``
+        rows into the block's first row of ``dest``.
+
+        This is the batched form of :meth:`reduce_sum`: the CAM holds
+        several independent softmax vectors stacked block by block (e.g. a
+        ``(batch, seq)`` score tensor flattened to ``batch * seq`` rows) and
+        one binary reduction tree runs inside every block simultaneously —
+        all blocks' row pairs of one tree level are added in the same 2D AP
+        row operation.  Returns the number of tree levels.
+        """
+        check_positive_int(segment_length, "segment_length")
+        if self.rows % segment_length != 0:
+            raise ValueError(
+                f"rows ({self.rows}) must be a multiple of the segment "
+                f"length ({segment_length})"
+            )
+        levels = (
+            max(1, int(np.ceil(np.log2(segment_length))))
+            if segment_length > 1
+            else 0
+        )
+        if dest.bits < field.bits + levels:
+            raise ValueError(
+                f"destination field {dest.name!r} needs at least "
+                f"{field.bits + levels} bits for a {segment_length}-row "
+                f"segmented reduction"
+            )
+        self.copy(field, dest)
+        block_starts = np.arange(0, self.rows, segment_length)
+        stride = 1
+        level = 0
+        while stride < segment_length:
+            local = np.arange(stride, segment_length, 2 * stride)
+            if local.size:
+                sources = (block_starts[:, None] + local[None, :]).ravel()
+                targets = sources - stride
+                self._row_pair_add(dest, targets, sources)
+            stride *= 2
+            level += 1
+        return level
+
+    def broadcast_segments(self, field: Field, segment_length: int) -> None:
+        """Copy each block's first-row ``field`` word to the whole block.
+
+        The 2D AP realises this with two column-parallel writes per bit
+        column (one pass tags the rows whose block value is 1, the second
+        the rows whose block value is 0), which is what the cycle accounting
+        charges.
+        """
+        check_positive_int(segment_length, "segment_length")
+        if self.rows % segment_length != 0:
+            raise ValueError(
+                f"rows ({self.rows}) must be a multiple of the segment "
+                f"length ({segment_length})"
+            )
+        bits = self.cam.read_bits(field.columns)
+        heads = np.repeat(np.arange(0, self.rows, segment_length), segment_length)
+        self.cam.load_bits(field.columns, bits[heads])
+        # Two compare/write pairs per column (tag-by-value is a compare,
+        # like every other tagged pass in the model).
+        self.cam.stats.compare_cycles += 2 * field.bits
+        self.cam.stats.compared_bits += 2 * field.bits * self.rows
+        self.cam.stats.write_cycles += 2 * field.bits
+        self.cam.stats.written_bits += field.bits * self.rows
+        self.cam.stats.row_writes += field.bits * self.rows
+
+    def reduce_and_broadcast_segments(
+        self, field: Field, dest: Field, segment_length: int
+    ) -> int:
+        """Segmented reduction of ``field`` into ``dest`` followed by a
+        per-block broadcast of each block's total — the batched fusion of
+        steps 14 and 15 of the dataflow."""
+        levels = self.reduce_sum_segmented(field, dest, segment_length)
+        self.broadcast_segments(dest, segment_length)
         return levels
 
     # ------------------------------------------------------------------ #

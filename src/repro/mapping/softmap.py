@@ -100,6 +100,13 @@ class SoftmAPMapping:
     clip_threshold:
         Softmax input clipping threshold; defaults to the paper's per-``M``
         value.
+    backend:
+        Default execution backend of the functional simulator:
+        ``"reference"`` (bit-serial LUT sweeps, the ground truth) or
+        ``"vectorized"`` (the packed-word
+        :class:`~repro.ap.engine.BitPlaneEngine`, bit-identical and orders
+        of magnitude faster).  Can be overridden per call on
+        :meth:`execute_functional` / :meth:`execute_functional_batch`.
     """
 
     def __init__(
@@ -111,6 +118,7 @@ class SoftmAPMapping:
         tech: TechnologyParameters = TECH_16NM,
         division: str = "restoring",
         clip_threshold: Optional[float] = None,
+        backend: str = "reference",
     ) -> None:
         self.precision = precision
         self.sequence_length = check_positive_int(sequence_length, "sequence_length")
@@ -121,6 +129,9 @@ class SoftmAPMapping:
         self.tech = tech
         self.division = check_in_choices(
             division, ("restoring", "reciprocal"), "division"
+        )
+        self.backend = check_in_choices(
+            backend, AssociativeProcessor2D.BACKENDS, "backend"
         )
         self.quantizer = ClippedSoftmaxInputQuantizer(
             bits=precision.input_bits, clip_threshold=clip_threshold
@@ -226,7 +237,10 @@ class SoftmAPMapping:
     # Functional execution                                                 #
     # ------------------------------------------------------------------ #
     def execute_functional(
-        self, scores: np.ndarray, output_fraction_bits: Optional[int] = None
+        self,
+        scores: np.ndarray,
+        output_fraction_bits: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> np.ndarray:
         """Execute the dataflow on the functional 2D AP for one vector.
 
@@ -237,6 +251,9 @@ class SoftmAPMapping:
         output_fraction_bits:
             Fractional bits of the normalised output; defaults to the
             ``2M + 12`` result-column width.
+        backend:
+            Functional AP backend (``"reference"`` / ``"vectorized"``);
+            defaults to the mapping's configured backend.
 
         Returns
         -------
@@ -247,6 +264,55 @@ class SoftmAPMapping:
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 1:
             raise ValueError("execute_functional processes one vector at a time")
+        return self.execute_functional_batch(
+            scores[None, :],
+            output_fraction_bits=output_fraction_bits,
+            backend=backend,
+        )[0]
+
+    def execute_functional_batch(
+        self,
+        scores: np.ndarray,
+        output_fraction_bits: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Execute the dataflow for a whole ``(batch, seq)`` score tensor.
+
+        All ``batch`` softmax vectors are stacked block by block into one
+        tall AP (``batch * seq`` rows) and the sixteen dataflow steps run
+        *once*: the element-wise steps are word-parallel over every row of
+        every vector, and the reduction/broadcast steps use the segmented 2D
+        tree (:meth:`~repro.ap.processor2d.AssociativeProcessor2D.reduce_sum_segmented`)
+        so each vector sums only its own block.  With the ``"vectorized"``
+        backend this is the fast path for batched softmax evaluation; with
+        the ``"reference"`` backend it produces bit-identical results (the
+        per-vector programs are independent).
+
+        Parameters
+        ----------
+        scores:
+            ``(batch, seq)`` floating-point logits; each row is one softmax.
+        output_fraction_bits:
+            Fractional bits of the normalised output; defaults to the
+            ``2M + 12`` result-column width.
+        backend:
+            Functional AP backend; defaults to the mapping's configured one.
+
+        Returns
+        -------
+        ``(batch, seq)`` softmax probabilities.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 2:
+            raise ValueError(
+                "execute_functional_batch expects a (batch, seq) score tensor"
+            )
+        if backend is None:
+            backend = self.backend
+        else:
+            backend = check_in_choices(
+                backend, AssociativeProcessor2D.BACKENDS, "backend"
+            )
         if output_fraction_bits is None:
             output_fraction_bits = self.precision.result_column_bits
         check_positive_int(output_fraction_bits, "output_fraction_bits")
@@ -254,8 +320,8 @@ class SoftmAPMapping:
         constants = self.constants
         m = self.precision.input_bits
         quantized = self.quantizer.quantize(scores, stabilise=True)
-        z = (-quantized.values).astype(np.int64)  # z = -vstable >= 0
-        n = len(z)
+        z = (-quantized.values).astype(np.int64).ravel()  # z = -vstable >= 0
+        batch, n = scores.shape
 
         shift_bits = max(1, bits_for_unsigned(max_shift_amount(self.precision, constants.vln2)))
         mu_bits = max(1, bits_for_unsigned(constants.mu))
@@ -283,7 +349,9 @@ class SoftmAPMapping:
             + sum_bits + 2         # division remainder
             + 8
         )
-        ap = AssociativeProcessor2D(rows=n, columns=columns_needed)
+        ap = AssociativeProcessor2D(
+            rows=batch * n, columns=columns_needed, backend=backend
+        )
 
         # Step 1: write v (as z) and max(v); step 2 is already folded into z
         # because the functional mapping tracks the non-negative magnitude.
@@ -331,14 +399,18 @@ class SoftmAPMapping:
         vapprox = ap.allocate_field("vapprox", vapprox_bits)
         ap.shift_right_variable(square, q_field, vapprox, max_shift_bits=min(shift_bits, q_field.bits))
 
-        # Steps 14-15: reduction and broadcast of the sum.
+        # Steps 14-15: reduction and broadcast of the sum (segmented so that
+        # every vector of the batch sums only its own block of rows).
         total = ap.allocate_field("sum", sum_bits)
-        ap.reduce_and_broadcast(vapprox, total)
+        if batch == 1:
+            ap.reduce_and_broadcast(vapprox, total)
+        else:
+            ap.reduce_and_broadcast_segments(vapprox, total, n)
 
         # Step 16: divide (fixed point with output_fraction_bits fraction).
         quotient = ap.allocate_field("out", out_bits)
         remainder = ap.allocate_field("rem", sum_bits + 1)
         ap.divide(vapprox, total, quotient, remainder, fraction_bits=output_fraction_bits)
 
-        out = ap.read_field(quotient).astype(np.float64)
+        out = ap.read_field(quotient).astype(np.float64).reshape(batch, n)
         return out * (2.0 ** -output_fraction_bits)

@@ -227,6 +227,44 @@ class IntegerSoftmax:
             quantized_input=quantized,
         )
 
+    def forward_on_ap(
+        self, x: np.ndarray, axis: int = -1, backend: str = "vectorized"
+    ) -> np.ndarray:
+        """Evaluate the softmax on the functional Associative Processor.
+
+        The input tensor is flattened to a ``(batch, seq)`` stack of softmax
+        vectors along ``axis`` and mapped onto one functional 2D AP in a
+        single call via
+        :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
+        — every probability is produced by CAM compare/write semantics
+        rather than host arithmetic.  With the default ``"vectorized"``
+        backend the packed-word engine makes this fast enough for realistic
+        batch/sequence sizes; ``"reference"`` runs the bit-serial ground
+        truth (slow, for validation).
+
+        Note the AP dataflow uses the raw (uncorrected) Barrett quotient and
+        an exact block sum, so the result can differ in the last fixed-point
+        digit from :meth:`forward` when Barrett correction or accumulator
+        saturation engage.
+        """
+        from repro.mapping.softmap import SoftmAPMapping
+
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 0:
+            raise ValueError("softmax input must have at least one dimension")
+        moved = np.moveaxis(x, axis, -1)
+        flat = moved.reshape(-1, moved.shape[-1])
+        mapping = SoftmAPMapping(
+            precision=self.precision,
+            sequence_length=flat.shape[-1],
+            clip_threshold=self.quantizer.clip_threshold,
+            backend=backend,
+        )
+        probabilities = mapping.execute_functional_batch(
+            flat, output_fraction_bits=self.output_fraction_bits
+        )
+        return np.moveaxis(probabilities.reshape(moved.shape), -1, axis)
+
     # ------------------------------------------------------------------ #
     # Integer core                                                        #
     # ------------------------------------------------------------------ #
