@@ -1,19 +1,28 @@
 """Benchmarks regenerating Tables III & IV — precision sensitivity of the
 integer-only softmax.
 
-Two views are produced (see DESIGN.md §4):
+Three views are produced (see DESIGN.md §4):
 
 * the end-to-end perplexity sweep on the trained substitute model;
 * the softmax-fidelity sweep at the paper's 2048-token row length, which
-  exposes the ``N`` (sum headroom) effect directly.
+  exposes the ``N`` (sum headroom) effect directly;
+* the AP-cluster path: the same perplexity evaluation with the attention
+  softmax executed entirely on the functional multi-AP cluster (one
+  simulated per-head AP per attention head, vectorized engine), pinned
+  bit-identical to the software pipeline and >= 5x faster than the
+  pre-cluster row-by-row replacement path.
 """
 
 from repro.experiments import (
     render_perplexity_table,
+    run_ap_cluster_equivalence,
     run_perplexity_sweep,
     run_softmax_fidelity_sweep,
 )
-from repro.experiments.table3_4_perplexity import render_fidelity_table
+from repro.experiments.table3_4_perplexity import (
+    render_fidelity_table,
+    train_reference_model,
+)
 
 
 def test_table3_4_perplexity_sweep(benchmark):
@@ -34,6 +43,43 @@ def test_table3_4_perplexity_sweep(benchmark):
     # companion fidelity sweep below reproduces the paper's ordering.
     assert all(v >= fp - 0.05 for label, v in values.items() if label != "FP softmax")
     assert values["M=4, vcorr=M, N=16"] >= values["M=8, vcorr=M, N=16"] - 0.05
+
+
+def test_table3_4_ap_cluster_bit_identical_and_faster(benchmark):
+    """Acceptance pin for the functional cluster: on a (4 heads x 64 seq)
+    score tensor the cluster path must be bit-identical to the
+    pure-software IntegerSoftmax pipeline AND >= 5x faster than the
+    row-by-row replacement path (one per-vector AP execution per row)."""
+    report = benchmark.pedantic(run_ap_cluster_equivalence, iterations=1, rounds=1)
+    print(
+        f"\nAP cluster ({report.batch}x{report.heads}x{report.sequence_length}): "
+        f"cluster {report.cluster_seconds:.3f}s vs row-by-row "
+        f"{report.row_by_row_seconds:.3f}s -> {report.speedup:.1f}x"
+    )
+    assert report.bit_identical, "cluster diverged from the software pipeline"
+    assert report.speedup >= 5.0, f"cluster only {report.speedup:.1f}x faster"
+
+
+def test_table3_4_perplexity_runs_ap_backed_end_to_end(benchmark):
+    """The perplexity study itself (not just the softmax kernel) runs with
+    every attention probability produced by the simulated AP cluster."""
+    model, corpus = train_reference_model(seed=0, training_steps=120)
+    points = benchmark.pedantic(
+        run_perplexity_sweep,
+        kwargs={"model": model, "corpus": corpus, "m_values": (6,),
+                "n_values": (16,), "include_m4": False,
+                "softmax_backend": "ap-cluster"},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(render_perplexity_table(points))
+    values = {p.label: p.perplexity for p in points}
+    fp = values.pop("FP softmax")
+    assert values, "sweep produced no AP-backed configurations"
+    # The AP-backed integer softmax degrades (never beats) the FP baseline,
+    # like every other replacement path.
+    assert all(v >= fp - 0.05 for v in values.values())
 
 
 def test_table3_4_softmax_fidelity(benchmark):

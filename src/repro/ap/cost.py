@@ -140,11 +140,33 @@ class ApCostModel:
         m = check_positive_int(precision, "precision")
         return 2 * m + 8 * m * m + 2 * m
 
-    def reduction_cycles(self, precision: int, words: int) -> int:
-        """Table II: ``2M + 8M + 8*log2(L/2) + 1`` for ``L`` words."""
-        m = check_positive_int(precision, "precision")
+    def reduction_levels(self, words: int, words_per_row: int = 2) -> int:
+        """Binary-tree levels of an ``L``-word reduction across CAM rows.
+
+        With ``words_per_row`` words packed per row the reduction spans
+        ``ceil(L / words_per_row)`` rows, and the inter-row tree needs
+        ``ceil(log2(rows))`` levels (zero when everything fits in one row).
+        This is exactly the level count the functional simulator reports
+        from :meth:`~repro.ap.processor2d.AssociativeProcessor2D.reduce_sum_segmented`
+        for a segment of that many rows — the parity is pinned by a test.
+        """
         length = check_positive_int(words, "words")
-        levels = max(1, math.ceil(math.log2(max(length // 2, 1)))) if length > 1 else 1
+        check_positive_int(words_per_row, "words_per_row")
+        rows = -(-length // words_per_row)
+        return int(math.ceil(math.log2(rows))) if rows > 1 else 0
+
+    def reduction_cycles(
+        self, precision: int, words: int, words_per_row: int = 2
+    ) -> int:
+        """Table II: ``2M + 8M + 8*log2(L/2) + 1`` for ``L`` words.
+
+        The ``log2(L/2)`` term is the inter-row tree depth with the paper's
+        two-words-per-row packing; :meth:`reduction_levels` generalises it to
+        non-power-of-two word counts (ceil division, so the last partly
+        filled row still gets its tree level) and other packing factors.
+        """
+        m = check_positive_int(precision, "precision")
+        levels = self.reduction_levels(words, words_per_row)
         return 2 * m + 8 * m + 8 * levels + 1
 
     def matmul_cycles(self, precision: int, inner_dimension: int) -> int:
@@ -218,11 +240,17 @@ class ApCostModel:
             f"mul[{precision}b]", self.multiplication_cycles(precision), active_rows
         )
 
-    def reduction(self, precision: int, words: int, active_rows: int = 0) -> OperationCost:
+    def reduction(
+        self,
+        precision: int,
+        words: int,
+        active_rows: int = 0,
+        words_per_row: int = 2,
+    ) -> OperationCost:
         """Cost of a full-column reduction of ``words`` words."""
         return self.cost_from_cycles(
             f"reduce[{precision}b,{words}w]",
-            self.reduction_cycles(precision, words),
+            self.reduction_cycles(precision, words, words_per_row),
             active_rows,
         )
 

@@ -174,6 +174,23 @@ class AssociativeProcessor:
         for column in field.columns:
             self.cam.write({column: 0}, tag=all_rows)
 
+    def clear_rows(self, field: Field, row_mask: np.ndarray) -> None:
+        """Zero ``field`` in the selected rows only.
+
+        The controller tags the rows once and issues one write cycle per bit
+        column — the same tagged column write every LUT pass uses, so the
+        operation is identical (data and cycle accounting) on both backends.
+        The batched softmax mapping uses this to null the padding words of
+        variable-length rows before the segmented reduction.
+        """
+        row_mask = np.asarray(row_mask, dtype=bool)
+        if row_mask.shape != (self.rows,):
+            raise ValueError(
+                f"row_mask must have shape ({self.rows},), got {row_mask.shape}"
+            )
+        for column in field.columns:
+            self.cam.write({column: 0}, tag=row_mask)
+
     # ------------------------------------------------------------------ #
     # LUT sweeps                                                           #
     # ------------------------------------------------------------------ #

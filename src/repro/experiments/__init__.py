@@ -14,6 +14,7 @@ from repro.experiments.fig1_softmax_proportion import (
 from repro.experiments.table1_precisions import run_table1, render_table1
 from repro.experiments.table2_runtime_formulas import run_table2, render_table2
 from repro.experiments.table3_4_perplexity import (
+    run_ap_cluster_equivalence,
     run_perplexity_sweep,
     run_softmax_fidelity_sweep,
     render_perplexity_table,
@@ -36,6 +37,7 @@ __all__ = [
     "render_table1",
     "run_table2",
     "render_table2",
+    "run_ap_cluster_equivalence",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
     "render_perplexity_table",

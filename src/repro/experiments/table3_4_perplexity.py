@@ -13,10 +13,20 @@ reproduction substitutes the tiny trained numpy model and synthetic corpus
   divergence to the FP softmax and the total probability-mass error) on
   attention-score rows of the paper's 2048-token length, which exposes the
   ``N`` saturation effect at the scale the paper studies.
+
+Since PR 2 the perplexity sweep can execute the attention softmax *on the
+functional AP cluster* (``softmax_backend="ap-cluster"``): one simulated
+per-head AP per attention head, every probability produced by CAM
+compare/write semantics through
+:class:`~repro.mapping.cluster.ApCluster`.  :func:`run_ap_cluster_equivalence`
+verifies that this path is bit-identical to the pure-software integer
+pipeline and measures its speedup over the pre-cluster row-by-row
+replacement path.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -24,26 +34,43 @@ import numpy as np
 
 from repro.llm.config import LlamaConfig
 from repro.llm.dataset import SyntheticCorpus, make_corpus
-from repro.llm.model import TinyLlamaModel
-from repro.llm.perplexity import evaluate_perplexity, integer_softmax_fn
+from repro.llm.model import SoftmaxFn, TinyLlamaModel
+from repro.llm.perplexity import (
+    ap_cluster_softmax_fn,
+    evaluate_perplexity,
+    integer_softmax_fn,
+)
 from repro.llm.trainer import Trainer
-from repro.quant.precision import PrecisionConfig
+from repro.mapping.cluster import ApCluster
+from repro.mapping.softmap import SoftmAPMapping
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
 from repro.softmax.integer_softmax import IntegerSoftmax
 from repro.softmax.metrics import kl_divergence
 from repro.softmax.reference import softmax
 from repro.utils.tables import TextTable
+from repro.utils.validation import check_in_choices
 
 __all__ = [
     "PerplexityPoint",
     "FidelityPoint",
+    "ClusterEquivalenceReport",
     "train_reference_model",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
+    "run_ap_cluster_equivalence",
     "render_perplexity_table",
     "render_fidelity_table",
     "PERPLEXITY_M_VALUES",
     "PERPLEXITY_N_VALUES",
+    "SOFTMAX_BACKENDS",
 ]
+
+#: Attention-softmax execution backends of the perplexity sweep:
+#: ``"software"`` — the original row-by-row integer pipeline in numpy;
+#: ``"software-batched"`` — the same pipeline, one batched call per layer;
+#: ``"ap-cluster"`` — the functional multi-AP cluster (vectorized backend),
+#: every probability produced by CAM compare/write semantics.
+SOFTMAX_BACKENDS: Tuple[str, ...] = ("software", "software-batched", "ap-cluster")
 
 PERPLEXITY_M_VALUES: Tuple[int, ...] = (4, 6, 8)
 PERPLEXITY_N_VALUES: Tuple[int, ...] = (8, 12, 16, 20)
@@ -97,6 +124,23 @@ def train_reference_model(
     return model, corpus
 
 
+def _sweep_softmax_fn(
+    config: PrecisionConfig,
+    softmax_backend: str,
+    num_heads: int,
+    segment_length: int,
+) -> SoftmaxFn:
+    """The attention-softmax callable for one sweep configuration."""
+    if softmax_backend == "software":
+        return integer_softmax_fn(config)
+    if softmax_backend == "software-batched":
+        return integer_softmax_fn(config, batched=True)
+    # "ap-cluster": one functional AP per attention head, vectorized engine.
+    return ap_cluster_softmax_fn(
+        num_heads=num_heads, precision=config, sequence_length=segment_length
+    )
+
+
 def run_perplexity_sweep(
     model: Optional[TinyLlamaModel] = None,
     corpus: Optional[SyntheticCorpus] = None,
@@ -106,8 +150,18 @@ def run_perplexity_sweep(
     include_m4: bool = True,
     training_steps: int = 400,
     seed: int = 0,
+    softmax_backend: str = "software",
 ) -> List[PerplexityPoint]:
-    """End-to-end perplexity for the precision grid (plus the FP baseline)."""
+    """End-to-end perplexity for the precision grid (plus the FP baseline).
+
+    ``softmax_backend`` selects how the replacement attention softmax is
+    executed (see :data:`SOFTMAX_BACKENDS`); with ``"ap-cluster"`` the whole
+    evaluation runs AP-backed end to end.  Note the software backends apply
+    the Barrett correction step by default while the AP dataflow uses the
+    raw quotient, so the two families can differ in the last fixed-point
+    digit of individual probabilities.
+    """
+    check_in_choices(softmax_backend, SOFTMAX_BACKENDS, "softmax_backend")
     if model is None or corpus is None:
         model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
     segment = model.config.max_context - 16
@@ -129,10 +183,85 @@ def run_perplexity_sweep(
             model,
             corpus.validation_tokens,
             segment,
-            softmax_fn=integer_softmax_fn(config),
+            softmax_fn=_sweep_softmax_fn(
+                config, softmax_backend, model.config.num_heads, segment
+            ),
         )
         points.append(PerplexityPoint(precision=config, perplexity=perplexity))
     return points
+
+
+@dataclass(frozen=True)
+class ClusterEquivalenceReport:
+    """Bit-exactness and speed of the functional AP cluster path.
+
+    ``bit_identical`` holds only if the cluster probabilities equal *both*
+    the pure-software integer pipeline (raw Barrett quotient, i.e.
+    ``barrett_correction=False``) and the pre-cluster row-by-row replacement
+    path (one functional AP execution per score vector).  ``speedup`` is
+    row-by-row seconds over cluster seconds for the same score tensor.
+    """
+
+    batch: int
+    heads: int
+    sequence_length: int
+    bit_identical: bool
+    cluster_seconds: float
+    row_by_row_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.row_by_row_seconds / self.cluster_seconds
+
+
+def run_ap_cluster_equivalence(
+    heads: int = 4,
+    sequence_length: int = 64,
+    batch: int = 32,
+    precision: PrecisionConfig = BEST_PRECISION,
+    seed: int = 0,
+) -> ClusterEquivalenceReport:
+    """Compare the AP cluster path against software and row-by-row paths.
+
+    A ``(batch, heads, seq)`` attention-score tensor is evaluated three
+    ways: on the :class:`~repro.mapping.cluster.ApCluster` (one vectorized
+    ``execute_functional_batch`` per head), by the pre-cluster row-by-row
+    replacement path (one per-vector functional AP execution per
+    ``(batch, head)`` pair — how the model applied AP-backed softmax before
+    the cluster existed), and by the pure-software integer pipeline.
+    """
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(0.0, 2.0, size=(batch, heads, sequence_length))
+
+    cluster = ApCluster(
+        num_heads=heads, precision=precision, sequence_length=sequence_length
+    )
+    start = time.perf_counter()
+    cluster_probabilities = cluster.execute(scores)
+    cluster_seconds = time.perf_counter() - start
+
+    mapping = SoftmAPMapping(
+        precision=precision, sequence_length=sequence_length, backend="vectorized"
+    )
+    row_probabilities = np.empty_like(scores)
+    start = time.perf_counter()
+    for b in range(batch):
+        for h in range(heads):
+            row_probabilities[b, h] = mapping.execute_functional(scores[b, h])
+    row_seconds = time.perf_counter() - start
+
+    software = IntegerSoftmax(precision, barrett_correction=False)(scores)
+    bit_identical = np.array_equal(cluster_probabilities, software) and np.array_equal(
+        cluster_probabilities, row_probabilities
+    )
+    return ClusterEquivalenceReport(
+        batch=batch,
+        heads=heads,
+        sequence_length=sequence_length,
+        bit_identical=bool(bit_identical),
+        cluster_seconds=cluster_seconds,
+        row_by_row_seconds=row_seconds,
+    )
 
 
 def _attention_like_scores(

@@ -11,9 +11,20 @@ train on the synthetic corpus in seconds.
 The attention softmax is pluggable: during training the differentiable
 floating-point softmax is used; during evaluation an arbitrary callable
 (e.g. :class:`~repro.softmax.integer_softmax.IntegerSoftmax`) can be
-substituted row by row over the causally-valid prefix, which is exactly how
-the SoftmAP hardware would see the scores (the AP is handed only the valid
-keys of each query).
+substituted for it, which is exactly how the SoftmAP hardware would see the
+scores (the AP is handed only the valid keys of each query).  Two
+replacement contracts are supported:
+
+* a plain callable mapping one 1-D score vector to probabilities — applied
+  row by row over each query's causally-valid prefix (the original, slow
+  contract);
+* a *batched* callable (attribute ``supports_batch = True``) mapping a
+  head-major ``(rows, seq)`` score matrix to probabilities of the same
+  shape, receiving the per-row causal prefix lengths via a
+  ``valid_lengths`` keyword and returning zeros at the masked positions.
+  The model then issues **one** call per layer covering every head and
+  query row — the shape :class:`~repro.mapping.cluster.ApCluster` shards
+  across its per-head APs.
 """
 
 from __future__ import annotations
@@ -39,7 +50,11 @@ from repro.nn.functional import (
 __all__ = ["TinyLlamaModel", "SoftmaxFn"]
 
 #: A softmax replacement: maps a score vector (1-D numpy array) to
-#: probabilities of the same length.
+#: probabilities of the same length.  Callables carrying the attribute
+#: ``supports_batch = True`` instead receive a head-major ``(rows, seq)``
+#: score matrix plus a ``valid_lengths`` keyword (one causal prefix length
+#: per row) and return a ``(rows, seq)`` probability matrix with zeros at
+#: the masked positions.
 SoftmaxFn = Callable[[np.ndarray], np.ndarray]
 
 
@@ -168,19 +183,36 @@ class TinyLlamaModel:
         softmax_fn: Optional[SoftmaxFn],
     ) -> Tensor:
         normed = rms_norm(x, layer["attn_norm"])
-        head_outputs: Optional[Tensor] = None
+        # Phase 1: per-head scores and values (the score tensors of every
+        # head must exist before a batched replacement softmax can shard
+        # them across the cluster in a single call).
+        head_scores: List[Tensor] = []
+        head_values: List[Tensor] = []
         for head in range(self.config.num_heads):
             q = matmul(normed, layer["wq"][head])
             k = matmul(normed, layer["wk"][head])
-            v = matmul(normed, layer["wv"][head])
-            scores = scale(matmul(q, k, transpose_b=True), scale_factor)
-            if softmax_fn is None:
-                probabilities = softmax_op(scores, mask=causal_mask)
-            else:
-                probabilities = Tensor(
-                    self._apply_replacement_softmax(scores.data, softmax_fn)
-                )
-            context = matmul(probabilities, v)
+            head_values.append(matmul(normed, layer["wv"][head]))
+            head_scores.append(scale(matmul(q, k, transpose_b=True), scale_factor))
+
+        # Phase 2: attention probabilities for every head.
+        if softmax_fn is None:
+            head_probabilities = [
+                softmax_op(scores, mask=causal_mask) for scores in head_scores
+            ]
+        elif getattr(softmax_fn, "supports_batch", False):
+            head_probabilities = self._apply_batched_replacement_softmax(
+                [scores.data for scores in head_scores], softmax_fn
+            )
+        else:
+            head_probabilities = [
+                Tensor(self._apply_replacement_softmax(scores.data, softmax_fn))
+                for scores in head_scores
+            ]
+
+        # Phase 3: per-head context and output projection.
+        head_outputs: Optional[Tensor] = None
+        for head in range(self.config.num_heads):
+            context = matmul(head_probabilities[head], head_values[head])
             projected = matmul(context, layer["wo"][head])
             head_outputs = projected if head_outputs is None else add(head_outputs, projected)
         return head_outputs
@@ -206,3 +238,35 @@ class TinyLlamaModel:
         for i in range(t):
             probabilities[i, : i + 1] = softmax_fn(scores[i, : i + 1])
         return probabilities
+
+    @staticmethod
+    def _apply_batched_replacement_softmax(
+        score_matrices: List[np.ndarray], softmax_fn: SoftmaxFn
+    ) -> List[Tensor]:
+        """Apply a batched replacement softmax to every head in one call.
+
+        The heads' ``(T, T)`` score matrices are stacked head-major into one
+        ``(heads * T, T)`` matrix and handed to the callable together with
+        the per-row causal prefix lengths (row ``i`` of every head attends
+        to keys ``0..i``).  The returned probabilities are re-masked with
+        the causal validity pattern — a no-op for a conforming callable,
+        but it guarantees causality regardless of the replacement.
+        """
+        t = score_matrices[0].shape[0]
+        heads = len(score_matrices)
+        stacked = np.concatenate(score_matrices, axis=0)
+        lengths = np.tile(np.arange(1, t + 1, dtype=np.int64), heads)
+        probabilities = np.asarray(
+            softmax_fn(stacked, valid_lengths=lengths), dtype=np.float64
+        )
+        if probabilities.shape != stacked.shape:
+            raise ValueError(
+                f"batched softmax_fn returned shape {probabilities.shape}, "
+                f"expected {stacked.shape}"
+            )
+        probabilities = np.where(
+            np.arange(t)[None, :] < lengths[:, None], probabilities, 0.0
+        )
+        return [
+            Tensor(probabilities[head * t : (head + 1) * t]) for head in range(heads)
+        ]

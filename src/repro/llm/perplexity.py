@@ -21,21 +21,100 @@ from repro.quant.precision import PrecisionConfig
 from repro.softmax.integer_softmax import IntegerSoftmax
 from repro.utils.validation import check_positive_int
 
-__all__ = ["evaluate_perplexity", "integer_softmax_fn"]
+__all__ = ["evaluate_perplexity", "integer_softmax_fn", "ap_cluster_softmax_fn"]
 
 
-def integer_softmax_fn(precision: PrecisionConfig, **kwargs) -> SoftmaxFn:
+class _BatchedIntegerSoftmaxFn:
+    """Batched software-pipeline softmax honouring the model's extended
+    ``softmax_fn`` contract (see :mod:`repro.llm.model`).
+
+    Rows are grouped by their causal prefix length and each group's valid
+    prefix is evaluated in one vectorized :class:`IntegerSoftmax` call —
+    bit-identical to applying the pipeline row by row (every stage of the
+    integer core is row-wise), but without the per-row Python loop.
+    """
+
+    supports_batch = True
+
+    def __init__(self, integer_softmax: IntegerSoftmax) -> None:
+        self.integer_softmax = integer_softmax
+
+    def __call__(
+        self,
+        scores: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim == 1:
+            if valid_lengths is None:
+                return self.integer_softmax(scores)
+            lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
+            if lengths.shape != (1,):
+                raise ValueError(
+                    "a 1-D score vector takes exactly one valid_lengths entry"
+                )
+            probabilities = np.zeros_like(scores)
+            probabilities[: lengths[0]] = self.integer_softmax(scores[: lengths[0]])
+            return probabilities
+        if valid_lengths is None:
+            return self.integer_softmax(scores)
+        valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+        probabilities = np.zeros_like(scores)
+        for length in np.unique(valid_lengths):
+            rows = valid_lengths == length
+            probabilities[rows, :length] = self.integer_softmax(
+                scores[rows, :length]
+            )
+        return probabilities
+
+
+def integer_softmax_fn(
+    precision: PrecisionConfig, batched: bool = False, **kwargs
+) -> SoftmaxFn:
     """Build a replacement softmax callable from a precision configuration.
 
-    The returned callable maps one score vector to probabilities using the
-    integer-only pipeline, exactly as the per-head AP would.
+    The returned callable maps score vectors to probabilities using the
+    integer-only pipeline, exactly as the per-head AP would.  With
+    ``batched=True`` the callable implements the model's batched contract
+    (``supports_batch = True``; one ``(rows, seq)`` call per layer instead
+    of one call per attention row) and produces bit-identical results.
     """
     integer_softmax = IntegerSoftmax(precision=precision, **kwargs)
+    if batched:
+        return _BatchedIntegerSoftmaxFn(integer_softmax)
 
     def apply(scores: np.ndarray) -> np.ndarray:
         return integer_softmax(np.asarray(scores, dtype=np.float64))
 
     return apply
+
+
+def ap_cluster_softmax_fn(
+    num_heads: int,
+    precision: PrecisionConfig,
+    sequence_length: int,
+    backend: str = "vectorized",
+    **kwargs,
+) -> SoftmaxFn:
+    """An attention softmax executed on the functional multi-AP cluster.
+
+    Builds an :class:`~repro.mapping.cluster.ApCluster` with one per-head AP
+    and returns its batched ``softmax_fn`` adapter, so the whole perplexity
+    evaluation runs the attention softmax through CAM compare/write
+    semantics.  The result is bit-identical to the software pipeline with
+    ``barrett_correction=False`` (the AP dataflow uses the raw Barrett
+    quotient) as long as the sum accumulator does not saturate.
+    """
+    from repro.mapping.cluster import ApCluster
+
+    cluster = ApCluster(
+        num_heads=num_heads,
+        precision=precision,
+        sequence_length=sequence_length,
+        backend=backend,
+        **kwargs,
+    )
+    return cluster.softmax_fn()
 
 
 def evaluate_perplexity(

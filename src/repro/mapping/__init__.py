@@ -9,12 +9,22 @@ This package is the co-design half of the paper:
   (b) costs it with the Table II analytical model;
 * :mod:`repro.mapping.deployment` — the per-head deployment used for the
   hardware characterization (one AP per attention head, Llama2 7b/13b/70b
-  area figures, per-invocation energy/latency).
+  area figures, per-invocation energy/latency);
+* :mod:`repro.mapping.cluster` — :class:`ApCluster`, the *functional*
+  multi-head deployment: per-head APs executing a sharded
+  ``(batch, heads, seq)`` score tensor with concurrency-aware cost
+  aggregation and a pipelined multi-batch schedule.
 """
 
 from repro.mapping.dataflow import DataflowStep, StepKind, softmax_dataflow
 from repro.mapping.softmap import SoftmAPMapping, MappingCost, StepCost
 from repro.mapping.deployment import ApDeployment, DeploymentSummary
+from repro.mapping.cluster import (
+    ApCluster,
+    ClusterCost,
+    ClusterSchedule,
+    ClusterSoftmaxFn,
+)
 
 __all__ = [
     "DataflowStep",
@@ -25,4 +35,8 @@ __all__ = [
     "StepCost",
     "ApDeployment",
     "DeploymentSummary",
+    "ApCluster",
+    "ClusterCost",
+    "ClusterSchedule",
+    "ClusterSoftmaxFn",
 ]

@@ -1,0 +1,379 @@
+"""Functional multi-AP cluster: one per-head AP executing batched softmax.
+
+The paper deploys one AP per attention head (Fig. 4).  Up to PR 1 that
+deployment existed only analytically (:class:`~repro.mapping.deployment.ApDeployment`
+derives area/latency/energy) while the functional path still evaluated the
+integer softmax in plain numpy.  :class:`ApCluster` closes the gap: it holds
+one :class:`~repro.mapping.softmap.SoftmAPMapping` per head, shards a
+``(batch, heads, seq)`` attention-score tensor head by head, and executes
+every head's ``(batch, seq)`` block through
+:meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch` —
+so every probability the LLM substrate consumes is produced by CAM
+compare/write semantics.
+
+Concurrency accounting
+----------------------
+The cluster-level cost follows the paper's Section V-B assumption that all
+per-head APs work concurrently on their own share of the score tensor:
+
+* **latency** — the maximum over heads.  The heads are structurally
+  identical, so the critical path equals the per-head pass latency.
+* **energy** — the sum over heads: every AP switches its own CAM.
+* **batch** — stacking ``batch`` score vectors in one AP adds rows, which
+  scales energy linearly but leaves the cycle count unchanged (the AP is
+  word-parallel; only the segmented reduction tree depends on the segment
+  length, not on the number of segments).
+
+Multi-batch schedule
+--------------------
+:meth:`ApCluster.schedule` models a two-stage pipeline over consecutive
+batches: the operand/constant *load* phase of batch ``k + 1`` (the dataflow's
+element-wise ``Write`` steps, issued by the controller ahead of time)
+overlaps the *compute* phase of batch ``k`` (everything else — including the
+step-15 sum broadcast, a write that depends on the same batch's reduction
+and therefore cannot be preloaded).  The steady-state
+initiation interval is therefore ``max(load, compute)`` and the makespan of
+``n`` batches is ``load + compute + (n - 1) * max(load, compute)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.ap.processor2d import AssociativeProcessor2D
+from repro.ap.tech import TECH_16NM, TechnologyParameters
+from repro.mapping.dataflow import StepKind
+from repro.mapping.softmap import MappingCost, SoftmAPMapping
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.utils.validation import check_in_choices, check_positive_int
+
+__all__ = ["ApCluster", "ClusterCost", "ClusterSchedule", "ClusterSoftmaxFn"]
+
+
+@dataclass(frozen=True)
+class ClusterCost:
+    """Aggregate cost of one batched softmax pass over the whole cluster.
+
+    Attributes
+    ----------
+    per_head:
+        Cost of one pass on one per-head AP (all heads are identical).
+    num_heads / batch:
+        Cluster width and number of score vectors stacked per head.
+    latency_s / cycles:
+        Critical path: the maximum over the concurrent heads (equal to the
+        per-head pass because the heads are structurally identical).
+    energy_j:
+        Sum over heads, scaled by the ``batch`` rows each AP activates.
+    area_mm2:
+        Total silicon: heads x per-AP area.
+    """
+
+    per_head: MappingCost
+    num_heads: int
+    batch: int
+    latency_s: float
+    cycles: float
+    energy_j: float
+    area_mm2: float
+
+
+@dataclass(frozen=True)
+class ClusterSchedule:
+    """Pipelined execution of several consecutive batches on the cluster.
+
+    ``latency_s`` is the pipelined makespan
+    ``load + compute + (n - 1) * max(load, compute)``; ``sequential_latency_s``
+    is the unpipelined reference ``n * (load + compute)``.
+    """
+
+    num_batches: int
+    load_latency_s: float
+    compute_latency_s: float
+    latency_s: float
+    sequential_latency_s: float
+    energy_j: float
+
+    @property
+    def pipeline_speedup(self) -> float:
+        """Sequential / pipelined makespan (>= 1)."""
+        return self.sequential_latency_s / self.latency_s
+
+    @property
+    def throughput_passes_per_s(self) -> float:
+        """Steady-state cluster passes per second."""
+        return self.num_batches / self.latency_s
+
+
+class ClusterSoftmaxFn:
+    """Batched attention-softmax adapter backed by an :class:`ApCluster`.
+
+    The callable implements the extended ``softmax_fn`` contract of
+    :class:`~repro.llm.model.TinyLlamaModel` (``supports_batch = True``): it
+    maps a head-major ``(rows, seq)`` score matrix — ``rows`` must be a
+    multiple of the cluster's head count, with row ``h * batch + b`` holding
+    batch row ``b`` of head ``h`` — to probabilities of the same shape,
+    zeroing every position at or beyond the row's ``valid_lengths`` entry.
+    A plain 1-D score vector is also accepted and runs on head 0.
+    """
+
+    #: Marks the extended (rows, seq) -> (rows, seq) softmax_fn contract.
+    supports_batch = True
+
+    def __init__(self, cluster: "ApCluster", backend: Optional[str] = None) -> None:
+        self.cluster = cluster
+        self.backend = backend
+
+    def __call__(
+        self,
+        scores: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim == 1:
+            if scores.size > self.cluster.sequence_length:
+                raise ValueError(
+                    f"sequence length {scores.size} exceeds the provisioned "
+                    f"maximum {self.cluster.sequence_length}"
+                )
+            lengths_1d = None
+            if valid_lengths is not None:
+                lengths_1d = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
+                if lengths_1d.shape != (1,):
+                    raise ValueError(
+                        "a 1-D score vector takes exactly one valid_lengths entry"
+                    )
+            return self.cluster.head_mapping(0).execute_functional_batch(
+                scores[None, :], backend=self.backend, valid_lengths=lengths_1d
+            )[0]
+        if scores.ndim != 2:
+            raise ValueError("cluster softmax_fn expects a (rows, seq) matrix")
+        heads = self.cluster.num_heads
+        if scores.shape[0] % heads != 0:
+            raise ValueError(
+                f"rows ({scores.shape[0]}) must be a multiple of the cluster "
+                f"head count ({heads}); stack the score matrices head-major"
+            )
+        batch = scores.shape[0] // heads
+        # Head-major (heads * batch, seq) -> (batch, heads, seq).
+        stacked = scores.reshape(heads, batch, -1).transpose(1, 0, 2)
+        lengths = None
+        if valid_lengths is not None:
+            lengths = np.asarray(valid_lengths, dtype=np.int64)
+            if lengths.shape != (scores.shape[0],):
+                raise ValueError(
+                    f"valid_lengths must have shape ({scores.shape[0]},), "
+                    f"got {lengths.shape}"
+                )
+            lengths = lengths.reshape(heads, batch).T
+        probabilities = self.cluster.execute(
+            stacked, valid_lengths=lengths, backend=self.backend
+        )
+        return probabilities.transpose(1, 0, 2).reshape(scores.shape)
+
+
+class ApCluster:
+    """A cluster of per-head functional APs for multi-head attention softmax.
+
+    Parameters
+    ----------
+    num_heads:
+        Number of APs (one per attention head).
+    precision / words_per_row / columns / tech / division / clip_threshold:
+        Forwarded to every per-head :class:`~repro.mapping.softmap.SoftmAPMapping`.
+    sequence_length:
+        The sequence length the cluster is provisioned for; longer score
+        tensors are rejected (shorter ones are fine — the functional AP is
+        rebuilt per call and the cost view accepts a runtime length).
+    backend:
+        Default functional backend; ``"vectorized"`` because the cluster is
+        the model-scale fast path (``"reference"`` validates bit-exactness).
+    """
+
+    def __init__(
+        self,
+        num_heads: int,
+        precision: PrecisionConfig = BEST_PRECISION,
+        sequence_length: int = 2048,
+        words_per_row: int = 2,
+        columns: int = 64,
+        tech: TechnologyParameters = TECH_16NM,
+        division: str = "restoring",
+        clip_threshold: Optional[float] = None,
+        backend: str = "vectorized",
+    ) -> None:
+        self.num_heads = check_positive_int(num_heads, "num_heads")
+        self.sequence_length = check_positive_int(sequence_length, "sequence_length")
+        self.backend = check_in_choices(
+            backend, AssociativeProcessor2D.BACKENDS, "backend"
+        )
+        self._head_mappings: List[SoftmAPMapping] = [
+            SoftmAPMapping(
+                precision=precision,
+                sequence_length=sequence_length,
+                words_per_row=words_per_row,
+                columns=columns,
+                tech=tech,
+                division=division,
+                clip_threshold=clip_threshold,
+                backend=backend,
+            )
+            for _ in range(self.num_heads)
+        ]
+        self.precision = precision
+        self.words_per_row = words_per_row
+        self.columns = columns
+        self.tech = tech
+        self.division = self._head_mappings[0].division
+        self.clip_threshold = clip_threshold
+
+    # ------------------------------------------------------------------ #
+    # Sharded functional execution                                         #
+    # ------------------------------------------------------------------ #
+    def head_mapping(self, head: int) -> SoftmAPMapping:
+        """The per-head dataflow mapping owning shard ``head``."""
+        if not 0 <= head < self.num_heads:
+            raise IndexError(f"head {head} out of range ({self.num_heads} heads)")
+        return self._head_mappings[head]
+
+    def execute(
+        self,
+        scores: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Execute a ``(batch, heads, seq)`` score tensor on the cluster.
+
+        Head ``h``'s ``(batch, seq)`` block is handed to its own
+        :class:`~repro.mapping.softmap.SoftmAPMapping` and executed in one
+        :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
+        call (all ``batch`` vectors stacked in that head's AP); the heads'
+        results are reassembled into a ``(batch, heads, seq)`` probability
+        tensor.  ``valid_lengths`` may be ``(batch,)`` (shared by all heads)
+        or ``(batch, heads)``; see the mapping method for its semantics.
+        """
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim != 3:
+            raise ValueError(
+                "ApCluster.execute expects a (batch, heads, seq) score tensor"
+            )
+        batch, heads, seq = scores.shape
+        if heads != self.num_heads:
+            raise ValueError(
+                f"score tensor has {heads} heads, cluster has {self.num_heads}"
+            )
+        if seq > self.sequence_length:
+            raise ValueError(
+                f"sequence length {seq} exceeds the provisioned "
+                f"maximum {self.sequence_length}"
+            )
+        per_head_lengths: Optional[np.ndarray] = None
+        if valid_lengths is not None:
+            per_head_lengths = np.asarray(valid_lengths, dtype=np.int64)
+            if per_head_lengths.ndim == 1:
+                per_head_lengths = np.broadcast_to(
+                    per_head_lengths[:, None], (batch, heads)
+                )
+            if per_head_lengths.shape != (batch, heads):
+                raise ValueError(
+                    f"valid_lengths must have shape ({batch},) or "
+                    f"({batch}, {heads}), got {np.asarray(valid_lengths).shape}"
+                )
+        probabilities = np.empty_like(scores)
+        for head, mapping in enumerate(self._head_mappings):
+            probabilities[:, head, :] = mapping.execute_functional_batch(
+                scores[:, head, :],
+                backend=backend,
+                valid_lengths=(
+                    None if per_head_lengths is None else per_head_lengths[:, head]
+                ),
+            )
+        return probabilities
+
+    def softmax_fn(self, backend: Optional[str] = None) -> ClusterSoftmaxFn:
+        """A batched attention-softmax callable for the LLM substrate."""
+        return ClusterSoftmaxFn(self, backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # Concurrency-aware analytical cost                                    #
+    # ------------------------------------------------------------------ #
+    def cost(
+        self, sequence_length: Optional[int] = None, batch: int = 1
+    ) -> ClusterCost:
+        """Cluster-level cost of one (possibly batched) softmax pass.
+
+        Latency is the max over the concurrently working heads, energy the
+        sum; stacking ``batch`` vectors per head multiplies the active rows
+        (energy) but not the cycle count (see the module docstring).
+        """
+        check_positive_int(batch, "batch")
+        per_head = self._cost_mapping(sequence_length).cost()
+        return ClusterCost(
+            per_head=per_head,
+            num_heads=self.num_heads,
+            batch=batch,
+            latency_s=per_head.latency_s,
+            cycles=per_head.cycles,
+            energy_j=per_head.energy_j * self.num_heads * batch,
+            area_mm2=per_head.area_mm2 * self.num_heads,
+        )
+
+    def schedule(
+        self,
+        num_batches: int,
+        sequence_length: Optional[int] = None,
+        batch: int = 1,
+    ) -> ClusterSchedule:
+        """Pipelined schedule of ``num_batches`` consecutive cluster passes.
+
+        The dataflow's *element-wise* ``Write`` steps (operand/constant
+        loading, issued by the controller ahead of time) form the *load*
+        stage; every other step — including step 15's sum broadcast, which
+        is a ``Write`` but depends on the same batch's reduction — forms the
+        *compute* stage that owns the match lines.  Batch ``k + 1``'s load
+        overlaps batch ``k``'s compute, giving the classic two-stage
+        pipeline makespan ``load + compute + (n - 1) * max(load, compute)``.
+        """
+        check_positive_int(num_batches, "num_batches")
+        check_positive_int(batch, "batch")
+        per_head = self._cost_mapping(sequence_length).cost()
+        load = sum(
+            s.cost.latency_s
+            for s in per_head.steps
+            if s.step.kind is StepKind.WRITE and s.step.elementwise
+        )
+        compute = per_head.latency_s - load
+        pipelined = load + compute + (num_batches - 1) * max(load, compute)
+        sequential = num_batches * (load + compute)
+        return ClusterSchedule(
+            num_batches=num_batches,
+            load_latency_s=load,
+            compute_latency_s=compute,
+            latency_s=pipelined,
+            sequential_latency_s=sequential,
+            energy_j=per_head.energy_j * self.num_heads * batch * num_batches,
+        )
+
+    def _cost_mapping(self, sequence_length: Optional[int]) -> SoftmAPMapping:
+        """A mapping sized for an (optional) runtime sequence length."""
+        if sequence_length is None or sequence_length == self.sequence_length:
+            return self._head_mappings[0]
+        check_positive_int(sequence_length, "sequence_length")
+        if sequence_length > self.sequence_length:
+            raise ValueError(
+                f"sequence length {sequence_length} exceeds the provisioned "
+                f"maximum {self.sequence_length}"
+            )
+        return SoftmAPMapping(
+            precision=self.precision,
+            sequence_length=sequence_length,
+            words_per_row=self.words_per_row,
+            columns=self.columns,
+            tech=self.tech,
+            division=self.division,
+            clip_threshold=self.clip_threshold,
+            backend=self.backend,
+        )

@@ -30,7 +30,7 @@ from repro.ap.tech import TECH_16NM, TechnologyParameters
 from repro.llm.config import LlamaConfig
 from repro.mapping.softmap import MappingCost, SoftmAPMapping
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_in_choices, check_positive_int
 
 __all__ = ["ApDeployment", "DeploymentSummary"]
 
@@ -85,10 +85,18 @@ class ApDeployment:
         self.max_sequence_length = check_positive_int(
             max_sequence_length, "max_sequence_length"
         )
-        self.words_per_row = check_positive_int(words_per_row, "words_per_row")
+        self.words_per_row = check_in_choices(
+            check_positive_int(words_per_row, "words_per_row"),
+            SoftmAPMapping.WORDS_PER_ROW_CHOICES,
+            "words_per_row",
+        )
         self.columns = check_positive_int(columns, "columns")
         self.tech = tech
-        self.division = division
+        # Validate eagerly: a bad mode must fail at construction, not deep
+        # inside the first mapping() call.
+        self.division = check_in_choices(
+            division, SoftmAPMapping.DIVISION_MODES, "division"
+        )
 
     @property
     def num_aps(self) -> int:
@@ -97,8 +105,12 @@ class ApDeployment:
 
     @property
     def rows_per_ap(self) -> int:
-        """CAM rows per AP (provisioned for the maximum sequence length)."""
-        return max(1, self.max_sequence_length // self.words_per_row)
+        """CAM rows per AP (provisioned for the maximum sequence length).
+
+        Ceil division: an odd maximum sequence length still needs its final,
+        partly filled row provisioned.
+        """
+        return -(-self.max_sequence_length // self.words_per_row)
 
     def mapping(self, sequence_length: Optional[int] = None) -> SoftmAPMapping:
         """The dataflow mapping for a given runtime sequence length."""
@@ -120,6 +132,29 @@ class ApDeployment:
     def pass_cost(self, sequence_length: Optional[int] = None) -> MappingCost:
         """Cost of one softmax pass on one per-head AP."""
         return self.mapping(sequence_length).cost()
+
+    def cluster(self, backend: str = "vectorized") -> "ApCluster":
+        """The functional multi-AP cluster realising this deployment.
+
+        Returns an :class:`~repro.mapping.cluster.ApCluster` with one
+        functional per-head AP per attention head, configured exactly like
+        the analytical deployment; use its
+        :meth:`~repro.mapping.cluster.ApCluster.execute` /
+        :meth:`~repro.mapping.cluster.ApCluster.softmax_fn` to actually run
+        attention softmax tensors through the simulated hardware.
+        """
+        from repro.mapping.cluster import ApCluster
+
+        return ApCluster(
+            num_heads=self.num_aps,
+            precision=self.precision,
+            sequence_length=self.max_sequence_length,
+            words_per_row=self.words_per_row,
+            columns=self.columns,
+            tech=self.tech,
+            division=self.division,
+            backend=backend,
+        )
 
     def total_area_mm2(self) -> float:
         """Total AP area of the deployment (heads x per-AP area, sized for

@@ -109,6 +109,12 @@ class SoftmAPMapping:
         :meth:`execute_functional` / :meth:`execute_functional_batch`.
     """
 
+    #: Realisations of the final normalisation step (see ``division`` above).
+    DIVISION_MODES = ("restoring", "reciprocal")
+
+    #: Supported CAM row packing factors.
+    WORDS_PER_ROW_CHOICES = (1, 2)
+
     def __init__(
         self,
         precision: PrecisionConfig = BEST_PRECISION,
@@ -122,14 +128,14 @@ class SoftmAPMapping:
     ) -> None:
         self.precision = precision
         self.sequence_length = check_positive_int(sequence_length, "sequence_length")
-        self.words_per_row = check_positive_int(words_per_row, "words_per_row")
-        if self.words_per_row not in (1, 2):
-            raise ValueError("words_per_row must be 1 or 2")
+        self.words_per_row = check_in_choices(
+            check_positive_int(words_per_row, "words_per_row"),
+            self.WORDS_PER_ROW_CHOICES,
+            "words_per_row",
+        )
         self.columns = check_positive_int(columns, "columns")
         self.tech = tech
-        self.division = check_in_choices(
-            division, ("restoring", "reciprocal"), "division"
-        )
+        self.division = check_in_choices(division, self.DIVISION_MODES, "division")
         self.backend = check_in_choices(
             backend, AssociativeProcessor2D.BACKENDS, "backend"
         )
@@ -140,7 +146,9 @@ class SoftmAPMapping:
             input_bits=precision.input_bits, barrett_correction=False
         )
         self.constants = self.polynomial.constants(self.quantizer.scale)
-        self.rows = max(1, self.sequence_length // self.words_per_row)
+        # Ceil division: an odd sequence length still occupies a final,
+        # partly filled row (floor division would silently drop its word).
+        self.rows = -(-self.sequence_length // self.words_per_row)
         self.cost_model = ApCostModel(rows=self.rows, columns=self.columns, tech=tech)
 
     # ------------------------------------------------------------------ #
@@ -203,7 +211,9 @@ class SoftmAPMapping:
                 energy_j=combined.energy_j,
             )
         if step.kind is StepKind.REDUCTION:
-            return model.reduction(step.width, words=step.aux_width)
+            return model.reduction(
+                step.width, words=step.aux_width, words_per_row=self.words_per_row
+            )
         if step.kind is StepKind.DIVIDE:
             return self._division_cost(step)
         raise ValueError(f"unknown step kind {step.kind!r}")
@@ -275,6 +285,7 @@ class SoftmAPMapping:
         scores: np.ndarray,
         output_fraction_bits: Optional[int] = None,
         backend: Optional[str] = None,
+        valid_lengths: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Execute the dataflow for a whole ``(batch, seq)`` score tensor.
 
@@ -297,6 +308,14 @@ class SoftmAPMapping:
             ``2M + 12`` result-column width.
         backend:
             Functional AP backend; defaults to the mapping's configured one.
+        valid_lengths:
+            Optional per-vector prefix lengths (shape ``(batch,)``, each in
+            ``1..seq``).  Vector ``b`` then softmaxes only its first
+            ``valid_lengths[b]`` elements and the remaining positions return
+            probability zero — the layout an attention row sees under the
+            causal mask.  The padding words are nulled *inside* the AP (a
+            tagged column clear of their ``vapprox`` field) so the valid
+            prefix is bit-identical to an unpadded run of the same length.
 
         Returns
         -------
@@ -307,6 +326,25 @@ class SoftmAPMapping:
             raise ValueError(
                 "execute_functional_batch expects a (batch, seq) score tensor"
             )
+        pad_mask = None  # (batch, seq) boolean, True at padding positions
+        if valid_lengths is not None:
+            valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
+            if valid_lengths.shape != (scores.shape[0],):
+                raise ValueError(
+                    f"valid_lengths must have shape ({scores.shape[0]},), "
+                    f"got {valid_lengths.shape}"
+                )
+            if np.any(valid_lengths < 1) or np.any(valid_lengths > scores.shape[1]):
+                raise ValueError(
+                    "valid_lengths must lie in 1..seq for every vector"
+                )
+            if np.any(valid_lengths < scores.shape[1]):
+                pad_mask = (
+                    np.arange(scores.shape[1])[None, :] >= valid_lengths[:, None]
+                )
+                # Padding scores must not influence the per-vector maximum
+                # used for stabilisation.
+                scores = np.where(pad_mask, -np.inf, scores)
         if backend is None:
             backend = self.backend
         else:
@@ -398,6 +436,10 @@ class SoftmAPMapping:
         ap.add(vc_field, square)
         vapprox = ap.allocate_field("vapprox", vapprox_bits)
         ap.shift_right_variable(square, q_field, vapprox, max_shift_bits=min(shift_bits, q_field.bits))
+        if pad_mask is not None:
+            # Null the padding words so they contribute nothing to the
+            # segmented sum and divide to an all-zero output word.
+            ap.clear_rows(vapprox, pad_mask.ravel())
 
         # Steps 14-15: reduction and broadcast of the sum (segmented so that
         # every vector of the batch sums only its own block of rows).

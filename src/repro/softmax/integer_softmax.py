@@ -228,7 +228,11 @@ class IntegerSoftmax:
         )
 
     def forward_on_ap(
-        self, x: np.ndarray, axis: int = -1, backend: str = "vectorized"
+        self,
+        x: np.ndarray,
+        axis: int = -1,
+        backend: str = "vectorized",
+        valid_lengths: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Evaluate the softmax on the functional Associative Processor.
 
@@ -246,6 +250,11 @@ class IntegerSoftmax:
         an exact block sum, so the result can differ in the last fixed-point
         digit from :meth:`forward` when Barrett correction or accumulator
         saturation engage.
+
+        ``valid_lengths`` (one prefix length per flattened softmax vector)
+        restricts every vector to its leading prefix, returning zeros at the
+        masked positions — the causal-attention layout; see
+        :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`.
         """
         from repro.mapping.softmap import SoftmAPMapping
 
@@ -261,7 +270,9 @@ class IntegerSoftmax:
             backend=backend,
         )
         probabilities = mapping.execute_functional_batch(
-            flat, output_fraction_bits=self.output_fraction_bits
+            flat,
+            output_fraction_bits=self.output_fraction_bits,
+            valid_lengths=valid_lengths,
         )
         return np.moveaxis(probabilities.reshape(moved.shape), -1, axis)
 

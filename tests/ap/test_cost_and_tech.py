@@ -3,9 +3,11 @@
 import dataclasses
 import math
 
+import numpy as np
 import pytest
 
 from repro.ap.cost import ApCostModel, OperationCost
+from repro.ap.processor2d import AssociativeProcessor2D
 from repro.ap.tech import TECH_16NM, TechnologyParameters
 
 
@@ -23,6 +25,38 @@ class TestTableIIFormulas:
         m, words = 6, 2048
         expected = 2 * m + 8 * m + 8 * math.ceil(math.log2(words // 2)) + 1
         assert model.reduction_cycles(m, words) == expected
+
+    @pytest.mark.parametrize("words", [1, 2, 3, 6, 7, 64, 100])
+    @pytest.mark.parametrize("words_per_row", [1, 2])
+    def test_reduction_levels_match_functional_tree(self, words, words_per_row):
+        """The cost model's tree-level count must equal the level count the
+        functional 2D AP actually executes for the same row occupancy —
+        including non-power-of-two word counts, where the last partly
+        filled row still takes part in the tree (ceil, not floor)."""
+        model = ApCostModel(rows=words)
+        rows = -(-words // words_per_row)
+        ap = AssociativeProcessor2D(rows=rows, columns=24)
+        src = ap.allocate_field("src", 4)
+        dst = ap.allocate_field("dst", 14)
+        values = np.arange(rows, dtype=np.int64) % 16
+        ap.write_field(src, values)
+        levels = ap.reduce_sum_segmented(src, dst, rows)
+        assert model.reduction_levels(words, words_per_row) == levels
+        assert int(ap.read_field(dst)[0]) == int(values.sum())
+
+    def test_reduction_cycles_use_the_functional_level_count(self):
+        model = ApCostModel(rows=64)
+        m = 6
+        for words in (1, 2, 3, 6, 7, 64, 100):
+            levels = model.reduction_levels(words)
+            assert model.reduction_cycles(m, words) == 2 * m + 8 * m + 8 * levels + 1
+
+    def test_reduction_cycles_odd_word_counts_not_undercounted(self):
+        """5 words occupy 3 rows just like 6 words do; the seed's floor
+        division charged one tree level too few."""
+        model = ApCostModel(rows=64)
+        assert model.reduction_cycles(6, 5) == model.reduction_cycles(6, 6)
+        assert model.reduction_levels(5) == 2
 
     def test_matmul_formula(self):
         model = ApCostModel(rows=64)

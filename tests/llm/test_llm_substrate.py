@@ -7,7 +7,11 @@ import pytest
 from repro.llm.config import LLAMA2_13B, LLAMA2_70B, LLAMA2_7B, LlamaConfig, TINY_LLAMA
 from repro.llm.dataset import make_corpus
 from repro.llm.model import TinyLlamaModel
-from repro.llm.perplexity import evaluate_perplexity, integer_softmax_fn
+from repro.llm.perplexity import (
+    ap_cluster_softmax_fn,
+    evaluate_perplexity,
+    integer_softmax_fn,
+)
 from repro.llm.tokenizer import WordTokenizer
 from repro.llm.trainer import Trainer
 from repro.quant.precision import PrecisionConfig
@@ -141,6 +145,74 @@ class TestModelAndTraining:
         m4 = evaluate_perplexity(model, tokens, segment_length=32,
                                  softmax_fn=integer_softmax_fn(PrecisionConfig(4, 0, 16)))
         assert m4 >= m8
+
+    def test_batched_softmax_fn_matches_row_by_row_bit_exactly(self, trained_model):
+        """The extended (rows, seq) softmax_fn contract must reproduce the
+        row-by-row replacement path bit for bit (same integer pipeline,
+        same causal prefixes — only the batching differs)."""
+        model, corpus, _ = trained_model
+        tokens = corpus.validation_tokens[:30]
+        config = PrecisionConfig(6, 0, 16)
+        row = model.forward(tokens, softmax_fn=integer_softmax_fn(config)).numpy()
+        batched = model.forward(
+            tokens, softmax_fn=integer_softmax_fn(config, batched=True)
+        ).numpy()
+        assert np.array_equal(row, batched)
+
+    def test_batched_software_fn_1d_contract_matches_cluster_adapter(self):
+        """Both batched adapters must honour valid_lengths on the 1-D
+        convenience path identically (zeros beyond the prefix)."""
+        rng = np.random.default_rng(11)
+        scores = rng.normal(0, 2, 8)
+        config = PrecisionConfig(6, 0, 16)
+        software = integer_softmax_fn(config, batched=True, barrett_correction=False)
+        ap_backed = ap_cluster_softmax_fn(2, config, sequence_length=8)
+        lengths = np.array([3])
+        assert np.array_equal(
+            software(scores, valid_lengths=lengths),
+            ap_backed(scores, valid_lengths=lengths),
+        )
+        with pytest.raises(ValueError):
+            software(scores, valid_lengths=np.array([3, 4]))
+
+    def test_ap_cluster_forward_matches_software_bit_exactly(self, trained_model):
+        """End-to-end AP-backed attention: logits with the softmax executed
+        on the functional multi-AP cluster must equal the pure-software
+        integer pipeline (raw Barrett quotient) bit for bit."""
+        model, corpus, _ = trained_model
+        tokens = corpus.validation_tokens[:30]
+        config = PrecisionConfig(6, 0, 16)
+        software = model.forward(
+            tokens,
+            softmax_fn=integer_softmax_fn(
+                config, batched=True, barrett_correction=False
+            ),
+        ).numpy()
+        ap_backed = model.forward(
+            tokens,
+            softmax_fn=ap_cluster_softmax_fn(
+                model.config.num_heads, config, sequence_length=tokens.size
+            ),
+        ).numpy()
+        assert np.array_equal(software, ap_backed)
+
+    def test_ap_cluster_perplexity_matches_software(self, trained_model):
+        model, corpus, _ = trained_model
+        tokens = corpus.validation_tokens[:40]
+        config = PrecisionConfig(6, 0, 16)
+        software = evaluate_perplexity(
+            model, tokens, segment_length=32,
+            softmax_fn=integer_softmax_fn(
+                config, batched=True, barrett_correction=False
+            ),
+        )
+        ap_backed = evaluate_perplexity(
+            model, tokens, segment_length=32,
+            softmax_fn=ap_cluster_softmax_fn(
+                model.config.num_heads, config, sequence_length=32
+            ),
+        )
+        assert ap_backed == software
 
     def test_trainer_validates_segment_length(self, trained_model):
         model, corpus, _ = trained_model

@@ -24,6 +24,30 @@ class TestApDeployment:
         deployment = ApDeployment(LLAMA2_7B, max_sequence_length=4096)
         assert deployment.rows_per_ap == 2048
 
+    def test_rows_per_ap_rounds_odd_lengths_up(self):
+        """Regression: floor division dropped the last packed word's row for
+        odd provisioned lengths."""
+        assert ApDeployment(LLAMA2_7B, max_sequence_length=4095).rows_per_ap == 2048
+        assert ApDeployment(LLAMA2_7B, max_sequence_length=3).rows_per_ap == 2
+        assert ApDeployment(LLAMA2_7B, max_sequence_length=1).rows_per_ap == 1
+
+    def test_bad_division_rejected_at_construction(self):
+        """Regression: a bad division mode used to be stored unchecked and
+        only blew up later inside mapping()."""
+        with pytest.raises(ValueError, match="division"):
+            ApDeployment(LLAMA2_7B, division="newton")
+
+    def test_bad_words_per_row_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ApDeployment(LLAMA2_7B, words_per_row=3)
+
+    def test_cluster_matches_deployment_shape(self):
+        deployment = ApDeployment(LLAMA2_7B, max_sequence_length=128)
+        cluster = deployment.cluster()
+        assert cluster.num_heads == deployment.num_aps
+        assert cluster.sequence_length == 128
+        assert cluster.division == deployment.division
+
     def test_sequence_beyond_provisioned_rejected(self):
         deployment = ApDeployment(LLAMA2_7B, max_sequence_length=2048)
         with pytest.raises(ValueError):

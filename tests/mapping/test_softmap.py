@@ -21,6 +21,18 @@ class TestCostModel:
         assert SoftmAPMapping(BEST_PRECISION, 2048, words_per_row=2).rows == 1024
         assert SoftmAPMapping(BEST_PRECISION, 2048, words_per_row=1).rows == 2048
 
+    @pytest.mark.parametrize("seq,expected", [(1, 1), (3, 2), (7, 4), (2049, 1025)])
+    def test_odd_sequence_lengths_round_rows_up(self, seq, expected):
+        """Regression: floor division silently dropped the last packed word
+        of an odd-length sequence; ceil division provisions it a row."""
+        assert SoftmAPMapping(BEST_PRECISION, seq, words_per_row=2).rows == expected
+
+    def test_odd_sequence_length_costs_like_the_next_even_one(self):
+        odd = SoftmAPMapping(BEST_PRECISION, 1023).cost()
+        even = SoftmAPMapping(BEST_PRECISION, 1024).cost()
+        assert odd.rows == even.rows
+        assert odd.energy_j == pytest.approx(even.energy_j)
+
     def test_packing_two_words_doubles_elementwise_work(self):
         one = SoftmAPMapping(BEST_PRECISION, 1024, words_per_row=1).cost()
         two = SoftmAPMapping(BEST_PRECISION, 1024, words_per_row=2).cost()
@@ -81,3 +93,59 @@ class TestFunctionalExecution:
         mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=8)
         with pytest.raises(ValueError):
             mapping.execute_functional(np.zeros((2, 4)))
+
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_odd_length_batch_matches_software(self, backend):
+        """Regression companion to the row-capacity fix: an odd sequence
+        length must process *every* element (the seed dropped none in the
+        functional path, but the fixed row sizing is exercised here)."""
+        rng = np.random.default_rng(5)
+        scores = rng.normal(0, 2, (3, 13))
+        mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=13)
+        hardware = mapping.execute_functional_batch(scores, backend=backend)
+        software = IntegerSoftmax(BEST_PRECISION, barrett_correction=False)(scores)
+        assert np.array_equal(hardware, software)
+
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_valid_lengths_bit_exact_against_unpadded_runs(self, backend):
+        """Each masked vector must equal an unpadded run of its own prefix
+        bit for bit, with zeros at every padding position."""
+        rng = np.random.default_rng(9)
+        scores = rng.normal(0, 2, (5, 12))
+        lengths = np.array([1, 4, 7, 12, 9])
+        mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=12)
+        out = mapping.execute_functional_batch(
+            scores, backend=backend, valid_lengths=lengths
+        )
+        for b, length in enumerate(lengths):
+            prefix = mapping.execute_functional(scores[b, :length])
+            assert np.array_equal(out[b, :length], prefix)
+            assert np.all(out[b, length:] == 0.0)
+
+    def test_valid_lengths_validation(self):
+        mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=8)
+        scores = np.zeros((2, 8))
+        with pytest.raises(ValueError):
+            mapping.execute_functional_batch(scores, valid_lengths=np.array([1]))
+        with pytest.raises(ValueError):
+            mapping.execute_functional_batch(scores, valid_lengths=np.array([0, 8]))
+        with pytest.raises(ValueError):
+            mapping.execute_functional_batch(scores, valid_lengths=np.array([1, 9]))
+
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    @pytest.mark.parametrize("backend", ["vectorized", "reference"])
+    def test_saturated_shift_field_matches_software(self, m, backend):
+        """Extreme logits whose Barrett quotient saturates the variable-shift
+        field (the ``max_shift_bits`` clamp of step 13) must still match the
+        software pipeline bit for bit on both backends."""
+        precision = PrecisionConfig(m, 0, 20)
+        # A full-scale spread: one dominant logit and the rest far below the
+        # clipping threshold, so their z saturates at 2**M - 1 and the
+        # Barrett quotient reaches its maximum.
+        scores = np.array([0.0, -1e30, -100.0, -50.0, -7.0, -6.99, -3.5, 0.0])
+        mapping = SoftmAPMapping(precision, sequence_length=scores.size)
+        quantized = mapping.quantizer.quantize(scores, stabilise=True)
+        assert int(np.max(-quantized.values)) == 2 ** m - 1, "z must saturate"
+        hardware = mapping.execute_functional(scores, backend=backend)
+        software = IntegerSoftmax(precision, barrett_correction=False)(scores)
+        assert np.array_equal(hardware, software)
