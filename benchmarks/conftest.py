@@ -1,16 +1,17 @@
 """Shared fixtures for the benchmark harness.
 
-Each benchmark regenerates one table or figure of the paper via the
-:mod:`repro.experiments` harness, times it with pytest-benchmark, and prints
-the rendered table so the numbers can be compared against the paper (they
-are also recorded in EXPERIMENTS.md).
+Each benchmark regenerates one table or figure of the paper through the
+experiment registry (:mod:`repro.runtime.registry` — the same uniform
+contract the ``python -m repro`` CLI drives), times it with
+pytest-benchmark, and prints the rendered table so the numbers can be
+compared against the paper (they are also recorded in EXPERIMENTS.md).
 """
 
 import pathlib
 
 import pytest
 
-from repro.experiments import run_normalized_comparison
+from repro.runtime import get_experiment
 
 
 BENCHMARKS_DIR = pathlib.Path(__file__).parent
@@ -29,4 +30,4 @@ def pytest_collection_modifyitems(items):
 @pytest.fixture(scope="session")
 def comparison_points():
     """The Figs. 6-8 sweep, shared by several benchmarks."""
-    return run_normalized_comparison()
+    return get_experiment("figs6_8").run()

@@ -1,13 +1,14 @@
 """Benchmark regenerating Fig. 1 — softmax runtime proportion (Llama2-7b on
 A100) versus sequence length."""
 
-from repro.experiments import render_fig1, run_fig1_softmax_proportion
+from repro.runtime import get_experiment
 
 
 def test_fig1_softmax_proportion(benchmark):
-    results = benchmark(run_fig1_softmax_proportion)
+    experiment = get_experiment("fig1")
+    results = benchmark(experiment.run)
     print()
-    print(render_fig1(results))
+    print(experiment.render(results))
     fractions = {int(r["sequence_length"]): r["softmax_fraction"] for r in results}
     # Paper: ~3% at 1024 and below, up to 38% at 16384.
     assert fractions[1024] < 0.10

@@ -1,11 +1,12 @@
 """Benchmark regenerating Fig. 6 — normalized energy (GPU / AP) for
 Llama2-7b/13b/70b across sequence lengths and batch sizes."""
 
-from repro.experiments import render_comparison, run_normalized_comparison
+from repro.experiments import render_comparison
+from repro.runtime import get_experiment
 
 
 def test_fig6_normalized_energy(benchmark, comparison_points):
-    benchmark(run_normalized_comparison)
+    benchmark(get_experiment("figs6_8").run)
     print()
     print(render_comparison(comparison_points, "energy"))
     # Paper: the AP is more energy efficient than both GPUs for all models,

@@ -1,7 +1,7 @@
 """Benchmark regenerating Fig. 8 — normalized energy-delay product
 (Llama2-13b shown in the paper; all models produced here)."""
 
-from repro.experiments import render_comparison
+from repro.experiments import render_comparison  # registry: "figs6_8"
 
 
 def test_fig8_normalized_edp(benchmark, comparison_points):

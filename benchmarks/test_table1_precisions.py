@@ -1,10 +1,11 @@
 """Benchmark regenerating Table I — mixed-precision bit widths."""
 
-from repro.experiments import render_table1, run_table1
+from repro.runtime import get_experiment
 
 
 def test_table1_precisions(benchmark):
-    entries = benchmark(run_table1)
+    experiment = get_experiment("table1")
+    entries = benchmark(experiment.run)
     print()
-    print(render_table1(entries))
+    print(experiment.render(entries))
     assert len(entries) == 9

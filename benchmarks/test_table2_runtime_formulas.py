@@ -1,11 +1,12 @@
 """Benchmark regenerating Table II — 2D AP runtime of elementary operations,
 cross-checked against the functional bit-serial simulator."""
 
-from repro.experiments import render_table2, run_table2
+from repro.runtime import get_experiment
 
 
 def test_table2_runtime_formulas(benchmark):
-    rows = benchmark(run_table2)
+    experiment = get_experiment("table2")
+    rows = benchmark(experiment.run)
     print()
-    print(render_table2(rows))
+    print(experiment.render(rows))
     assert any(r.simulated_cycles is not None for r in rows)

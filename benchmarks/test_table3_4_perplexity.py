@@ -1,40 +1,36 @@
 """Benchmarks regenerating Tables III & IV — precision sensitivity of the
-integer-only softmax.
+integer-only softmax, driven through the experiment registry.
 
 Three views are produced (see DESIGN.md §4):
 
-* the end-to-end perplexity sweep on the trained substitute model;
+* the end-to-end perplexity sweep on the trained substitute model
+  (registry ``table3_4``);
 * the softmax-fidelity sweep at the paper's 2048-token row length, which
-  exposes the ``N`` (sum headroom) effect directly;
-* the AP-cluster path: the same perplexity evaluation with the attention
-  softmax executed entirely on the functional multi-AP cluster (one
-  simulated per-head AP per attention head, vectorized engine), pinned
-  bit-identical to the software pipeline and >= 5x faster than the
-  pre-cluster row-by-row replacement path.
+  exposes the ``N`` (sum headroom) effect directly (registry ``fidelity``);
+* the AP-cluster path (registry ``cluster-parity`` plus a ``table3_4`` run
+  with ``softmax_backend="ap-cluster"``): the same perplexity evaluation
+  with the attention softmax executed entirely on the functional multi-AP
+  cluster, pinned bit-identical to the software pipeline and >= 5x faster
+  than the pre-cluster row-by-row replacement path.
 """
 
-from repro.experiments import (
-    render_perplexity_table,
-    run_ap_cluster_equivalence,
-    run_perplexity_sweep,
-    run_softmax_fidelity_sweep,
-)
-from repro.experiments.table3_4_perplexity import (
-    render_fidelity_table,
-    train_reference_model,
-)
+from repro.experiments.table3_4_perplexity import train_reference_model
+from repro.runtime import get_experiment
 
 
 def test_table3_4_perplexity_sweep(benchmark):
+    experiment = get_experiment("table3_4")
     points = benchmark.pedantic(
-        run_perplexity_sweep,
-        kwargs={"m_values": (6, 8), "n_values": (8, 16), "vcorr_deltas": (0,),
-                "include_m4": True, "training_steps": 200},
+        experiment.run,
+        args=(
+            {"m_values": (6, 8), "n_values": (8, 16), "vcorr_deltas": (0,),
+             "include_m4": True, "training_steps": 200},
+        ),
         iterations=1,
         rounds=1,
     )
     print()
-    print(render_perplexity_table(points))
+    print(experiment.render(points))
     values = {p.label: p.perplexity for p in points}
     fp = values["FP softmax"]
     # Integer softmax never improves on the FP baseline beyond noise.  At
@@ -50,12 +46,10 @@ def test_table3_4_ap_cluster_bit_identical_and_faster(benchmark):
     score tensor the cluster path must be bit-identical to the
     pure-software IntegerSoftmax pipeline AND >= 5x faster than the
     row-by-row replacement path (one per-vector AP execution per row)."""
-    report = benchmark.pedantic(run_ap_cluster_equivalence, iterations=1, rounds=1)
-    print(
-        f"\nAP cluster ({report.batch}x{report.heads}x{report.sequence_length}): "
-        f"cluster {report.cluster_seconds:.3f}s vs row-by-row "
-        f"{report.row_by_row_seconds:.3f}s -> {report.speedup:.1f}x"
-    )
+    experiment = get_experiment("cluster-parity")
+    report = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+    print()
+    print(experiment.render(report))
     assert report.bit_identical, "cluster diverged from the software pipeline"
     assert report.speedup >= 5.0, f"cluster only {report.speedup:.1f}x faster"
 
@@ -64,16 +58,19 @@ def test_table3_4_perplexity_runs_ap_backed_end_to_end(benchmark):
     """The perplexity study itself (not just the softmax kernel) runs with
     every attention probability produced by the simulated AP cluster."""
     model, corpus = train_reference_model(seed=0, training_steps=120)
+    experiment = get_experiment("table3_4")
     points = benchmark.pedantic(
-        run_perplexity_sweep,
-        kwargs={"model": model, "corpus": corpus, "m_values": (6,),
-                "n_values": (16,), "include_m4": False,
-                "softmax_backend": "ap-cluster"},
+        experiment.run,
+        args=(
+            {"model": model, "corpus": corpus, "m_values": (6,),
+             "n_values": (16,), "include_m4": False,
+             "softmax_backend": "ap-cluster"},
+        ),
         iterations=1,
         rounds=1,
     )
     print()
-    print(render_perplexity_table(points))
+    print(experiment.render(points))
     values = {p.label: p.perplexity for p in points}
     fp = values.pop("FP softmax")
     assert values, "sweep produced no AP-backed configurations"
@@ -83,14 +80,15 @@ def test_table3_4_perplexity_runs_ap_backed_end_to_end(benchmark):
 
 
 def test_table3_4_softmax_fidelity(benchmark):
+    experiment = get_experiment("fidelity")
     points = benchmark.pedantic(
-        run_softmax_fidelity_sweep,
-        kwargs={"sequence_length": 2048, "rows": 32},
+        experiment.run,
+        args=({"sequence_length": 2048, "rows": 32},),
         iterations=1,
         rounds=1,
     )
     print()
-    print(render_fidelity_table(points))
+    print(experiment.render(points))
     by_key = {(p.precision.input_bits, p.precision.vcorr_delta,
                p.precision.sum_extra_bits): p for p in points}
     # N = 8 truncates the sum at 2048 tokens; N >= 16 does not (Table III).

@@ -1,12 +1,13 @@
 """Benchmark regenerating Table V — highest EDP ratios per model and GPU."""
 
-from repro.experiments import render_table5, run_table5
+from repro.runtime import get_experiment
 
 
 def test_table5_highest_edp(benchmark, comparison_points):
-    entries = benchmark(run_table5, comparison_points)
+    experiment = get_experiment("table5")
+    entries = benchmark(experiment.run, {"points": comparison_points})
     print()
-    print(render_table5(entries))
+    print(experiment.render(entries))
     by_key = {(e.gpu, e.model): e.highest_edp_ratio for e in entries}
     # Paper: RTX3090 ratios exceed A100 ratios, 70b exceeds 7b, and the
     # maxima land at sequence length 4096 with large batches (order of

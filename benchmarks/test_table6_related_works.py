@@ -1,11 +1,12 @@
 """Benchmark regenerating Table VI — comparison with ConSmax / Softermax."""
 
-from repro.experiments import render_table6, run_table6
+from repro.runtime import get_experiment
 
 
 def test_table6_related_works(benchmark):
-    entries = benchmark(run_table6)
+    experiment = get_experiment("table6")
+    entries = benchmark(experiment.run)
     print()
-    print(render_table6(entries))
+    print(experiment.render(entries))
     softmap = entries[-1]
     assert softmap.energy_per_op_pj < min(e.energy_per_op_pj for e in entries[:-1])

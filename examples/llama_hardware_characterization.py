@@ -20,15 +20,11 @@ import sys
 
 import numpy as np
 
-from repro.experiments import (
-    render_comparison,
-    run_fig1_softmax_proportion,
-    run_normalized_comparison,
-    render_fig1,
-)
+from repro.experiments import render_comparison
 from repro.gpu import A100, GpuTransformerModel
 from repro.llm import LLAMA2_MODELS
 from repro.mapping import ApDeployment
+from repro.runtime import get_experiment
 from repro.softmax.integer_softmax import IntegerSoftmax
 from repro.utils.tables import TextTable
 
@@ -56,36 +52,44 @@ def main() -> None:
     print(table.render())
     print()
 
-    # Functional cluster: actually run a score tensor through the per-head
-    # APs (a short sequence keeps the demo fast; the cost/schedule view
-    # below uses the provisioned length).
+    # Functional cluster through the unified runtime API: run a score
+    # tensor through the per-head APs (a short sequence keeps the demo
+    # fast; the cost/schedule view below uses the provisioned length) —
+    # the SoftmaxResult carries concurrency-accounted cost alongside the
+    # CAM-computed probabilities.
     demo_seq, demo_batch = 64, 2
     cluster = deployment.cluster()
+    backend = cluster.as_backend()
     rng = np.random.default_rng(0)
     scores = rng.normal(0.0, 2.0, size=(demo_batch, deployment.num_aps, demo_seq))
-    probabilities = cluster.execute(scores)
+    result = backend.run(scores)
     software = IntegerSoftmax(deployment.precision, barrett_correction=False)(scores)
     print(f"=== functional AP cluster ({deployment.num_aps} per-head APs) ===")
     print(f"executed a {scores.shape} score tensor on the cluster "
-          f"(vectorized backend)")
+          f"(vectorized backend, via cluster.as_backend())")
     print(f"bit-identical to the software integer pipeline: "
-          f"{np.array_equal(probabilities, software)}")
+          f"{np.array_equal(result.probabilities, software)}")
+    print(f"demo pass at {demo_seq} tokens (from the SoftmaxResult): "
+          f"{result.cost.latency_s * 1e6:.2f} us, "
+          f"{result.cost.energy_j * 1e9:.1f} nJ")
     cost = cluster.cost(batch=demo_batch)
-    print(f"cluster pass (concurrency accounting): latency = max over heads "
-          f"= {cost.latency_s * 1e6:.2f} us, energy = sum over heads "
-          f"= {cost.energy_j * 1e9:.1f} nJ, area = {cost.area_mm2:.3f} mm^2")
+    print(f"cluster pass at the provisioned length (concurrency accounting): "
+          f"latency = max over heads = {cost.latency_s * 1e6:.2f} us, "
+          f"energy = sum over heads = {cost.energy_j * 1e9:.1f} nJ, "
+          f"area = {cost.area_mm2:.3f} mm^2")
     schedule = cluster.schedule(num_batches=8, batch=demo_batch)
     print(f"pipelined 8-batch schedule: {schedule.latency_s * 1e6:.2f} us "
           f"({schedule.pipeline_speedup:.3f}x vs sequential, "
           f"{schedule.throughput_passes_per_s:.0f} passes/s)")
     print()
 
-    points = run_normalized_comparison(models={name: model})
+    points = get_experiment("figs6_8").run({"models": [name]})
     for metric in ("energy", "latency", "edp"):
         print(render_comparison(points, metric))
         print()
 
-    print(render_fig1(run_fig1_softmax_proportion(model=model)))
+    fig1 = get_experiment("fig1")
+    print(fig1.render(fig1.run({"model": name})))
     breakdown = GpuTransformerModel(A100, model).prefill(1, 4096)
     reduction = breakdown.end_to_end_reduction(6.7)
     print()

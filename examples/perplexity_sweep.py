@@ -1,9 +1,10 @@
 """Precision-sensitivity study on the substitute language model.
 
-Trains the tiny Llama-style numpy model on the synthetic corpus, then
-evaluates perplexity with the floating-point softmax and with the
-integer-only softmax across the (M, N) grid of Tables III/IV.  Also prints
-the softmax-fidelity sweep at the paper's 2048-token row length, which
+Trains the tiny Llama-style numpy model on the synthetic corpus, then runs
+the ``table3_4`` registry experiment: perplexity with the floating-point
+softmax and with the integer-only softmax across the (M, N) grid of Tables
+III/IV (equivalent to ``python -m repro run table3_4``).  Also prints the
+``fidelity`` companion sweep at the paper's 2048-token row length, which
 exposes the sum-headroom (N) effect directly.
 
 Usage::
@@ -13,15 +14,8 @@ Usage::
 
 import sys
 
-from repro.experiments import (
-    run_perplexity_sweep,
-    run_softmax_fidelity_sweep,
-    render_perplexity_table,
-)
-from repro.experiments.table3_4_perplexity import (
-    render_fidelity_table,
-    train_reference_model,
-)
+from repro.experiments.table3_4_perplexity import train_reference_model
+from repro.runtime import get_experiment
 
 
 def main() -> None:
@@ -33,20 +27,21 @@ def main() -> None:
           f"vocabulary: {corpus.tokenizer.vocab_size}")
     print()
 
-    points = run_perplexity_sweep(
-        model=model,
-        corpus=corpus,
-        m_values=(6, 8),
-        n_values=(8, 12, 16, 20),
-        vcorr_deltas=(0,),
-        include_m4=True,
-    )
-    print(render_perplexity_table(points))
+    sweep = get_experiment("table3_4")
+    points = sweep.run({
+        "model": model,
+        "corpus": corpus,
+        "m_values": (6, 8),
+        "n_values": (8, 12, 16, 20),
+        "vcorr_deltas": (0,),
+        "include_m4": True,
+    })
+    print(sweep.render(points))
     print()
 
     print("Softmax fidelity at the paper's 2048-token attention rows:")
-    fidelity = run_softmax_fidelity_sweep(sequence_length=2048, rows=32)
-    print(render_fidelity_table(fidelity))
+    fidelity = get_experiment("fidelity")
+    print(fidelity.render(fidelity.run({"sequence_length": 2048, "rows": 32})))
 
 
 if __name__ == "__main__":

@@ -3,8 +3,10 @@
 Runs Algorithm 1 of the SoftmAP paper on a random attention-score vector at
 the paper's best precision (M=6, vcorr=M, N=16), compares it with the exact
 softmax, prints the offline constants the hardware would be loaded with, and
-finishes by executing a whole batch of score vectors on the functional AP
-simulator with the fast vectorized backend.
+finishes by executing a whole batch of score vectors through the unified
+runtime API (``resolve_backend("ap-batch")``), where the functional AP
+returns probabilities *and* the analytical cost of the pass in one
+``SoftmaxResult``.
 
 Usage::
 
@@ -16,6 +18,7 @@ import time
 import numpy as np
 
 from repro.quant import BEST_PRECISION, PrecisionConfig
+from repro.runtime import resolve_backend
 from repro.softmax import IntegerSoftmax, kl_divergence, max_abs_error, softmax
 
 
@@ -50,18 +53,23 @@ def main() -> None:
         print(f"  M = {m}: max abs error = {error:.5f}")
     print()
 
-    # A whole (batch, seq) score tensor on the functional AP simulator: every
-    # probability below is produced by CAM compare/write semantics, executed
-    # by the vectorized packed-word backend in one batched call.
+    # A whole (batch, seq) score tensor through the unified runtime API:
+    # every probability below is produced by CAM compare/write semantics
+    # (vectorized packed-word engine), and the SoftmaxResult carries the
+    # analytical cost of the pass alongside the probabilities.
     batch = rng.normal(0.0, 2.0, (16, 64))
+    backend = resolve_backend("ap-batch", sequence_length=64)
     start = time.perf_counter()
-    ap_probabilities = integer.forward_on_ap(batch, backend="vectorized")
+    result = backend.run(batch)
     elapsed = time.perf_counter() - start
-    ap_error = max_abs_error(ap_probabilities, softmax(batch))
-    print("Batched execution on the functional AP (vectorized backend):")
+    ap_error = max_abs_error(result.probabilities, softmax(batch))
+    print('Batched execution via resolve_backend("ap-batch"):')
     print(f"  {batch.shape[0]} softmax vectors of {batch.shape[1]} scores "
           f"in {elapsed * 1e3:.1f} ms")
     print(f"  max abs error vs FP softmax: {ap_error:.5f}")
+    print(f"  analytical pass cost: {result.cycles:.0f} cycles, "
+          f"{result.cost.latency_s * 1e6:.2f} us, "
+          f"{result.cost.energy_j * 1e9:.1f} nJ")
 
 
 if __name__ == "__main__":

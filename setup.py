@@ -8,6 +8,22 @@ offline machines where PEP 660 editable builds (which require `wheel`) are
 unavailable.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="softmap-repro",
+    version="1.1.0",
+    description=(
+        "Reproduction of SoftmAP: integer-only softmax on associative "
+        "processors (DATE 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.runtime.cli:main",
+        ]
+    },
+)

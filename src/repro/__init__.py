@@ -19,10 +19,14 @@ for Integer-Only Softmax on Associative Processors* (DATE 2025), including:
 * a numpy LLM substrate used for the perplexity sensitivity study
   (:mod:`repro.nn`, :mod:`repro.llm`);
 * an experiment harness regenerating every table and figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* the unified runtime API (:mod:`repro.runtime`) — the
+  :class:`~repro.runtime.backend.SoftmaxBackend` protocol behind
+  :func:`~repro.runtime.backend.resolve_backend`, the experiment registry,
+  and the ``python -m repro`` command-line interface.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.quant import PrecisionConfig, BEST_PRECISION
 from repro.softmax import IntegerSoftmax, integer_softmax, softmax
@@ -34,4 +38,27 @@ __all__ = [
     "IntegerSoftmax",
     "integer_softmax",
     "softmax",
+    "BackendSpec",
+    "SoftmaxResult",
+    "get_experiment",
+    "resolve_backend",
 ]
+
+#: Runtime-API names re-exported lazily (PEP 562): ``import repro`` must
+#: stay light — pulling :mod:`repro.runtime` eagerly would drag the whole
+#: ap/mapping/gpu stack into every consumer of the base substrate.
+_RUNTIME_EXPORTS = frozenset(
+    {"BackendSpec", "SoftmaxResult", "get_experiment", "resolve_backend"}
+)
+
+
+def __getattr__(name):
+    if name in _RUNTIME_EXPORTS:
+        from repro import runtime
+
+        return getattr(runtime, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | _RUNTIME_EXPORTS)

@@ -1,55 +1,99 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every experiment exposes a ``run(...)`` function returning a plain data
-structure plus a ``render(...)`` helper producing the table the paper
-reports.  The benchmark suite (``benchmarks/``) wraps these functions with
+Every experiment module exposes its legacy ``run_*``/``render_*`` functions
+*and* registers an :class:`repro.runtime.registry.Experiment` under the
+artefact's registry name (``table1``, ``fig1``, ``figs6_8``, ...), so each
+table/figure is reproducible three ways:
+
+* programmatically — ``get_experiment("table2").run({...})`` (uniform
+  ``run``/``render``/``to_dict``/``from_dict`` contract);
+* from the command line — ``python -m repro run table2 --json out.json``;
+* through the legacy functions (``run_table2`` / ``render_table2``), kept
+  as thin, stable entry points.
+
+The benchmark suite (``benchmarks/``) wraps the registry with
 pytest-benchmark so that regenerating an artefact is a single test
-invocation, and EXPERIMENTS.md records paper-vs-measured values.
+invocation, and EXPERIMENTS.md records the registry name for every
+table/figure.
+
+Importing this package registers every experiment (the registry's lookup
+functions import it lazily for exactly that reason).
 """
 
 from repro.experiments.fig1_softmax_proportion import (
+    Fig1Experiment,
     run_fig1_softmax_proportion,
     render_fig1,
 )
-from repro.experiments.table1_precisions import run_table1, render_table1
-from repro.experiments.table2_runtime_formulas import run_table2, render_table2
+from repro.experiments.table1_precisions import (
+    Table1Experiment,
+    run_table1,
+    render_table1,
+)
+from repro.experiments.table2_runtime_formulas import (
+    Table2Experiment,
+    run_table2,
+    render_table2,
+)
 from repro.experiments.table3_4_perplexity import (
+    ClusterParityExperiment,
+    FidelityExperiment,
+    PerplexityExperiment,
     run_ap_cluster_equivalence,
     run_perplexity_sweep,
     run_softmax_fidelity_sweep,
+    render_cluster_equivalence,
+    render_fidelity_table,
     render_perplexity_table,
 )
 from repro.experiments.normalized_comparison import (
     ComparisonPoint,
+    NormalizedComparisonExperiment,
     run_normalized_comparison,
     render_comparison,
     SEQUENCE_LENGTHS,
     BATCH_SIZES,
 )
-from repro.experiments.table5_edp import run_table5, render_table5
-from repro.experiments.table6_related_works import run_table6, render_table6
-from repro.experiments.area import run_area, render_area
+from repro.experiments.table5_edp import Table5Experiment, run_table5, render_table5
+from repro.experiments.table6_related_works import (
+    Table6Experiment,
+    run_table6,
+    render_table6,
+)
+from repro.experiments.area import AreaExperiment, run_area, render_area
 
 __all__ = [
+    "Fig1Experiment",
     "run_fig1_softmax_proportion",
     "render_fig1",
+    "Table1Experiment",
     "run_table1",
     "render_table1",
+    "Table2Experiment",
     "run_table2",
     "render_table2",
+    "ClusterParityExperiment",
+    "FidelityExperiment",
+    "PerplexityExperiment",
     "run_ap_cluster_equivalence",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
+    "render_cluster_equivalence",
+    "render_fidelity_table",
     "render_perplexity_table",
     "ComparisonPoint",
+    "NormalizedComparisonExperiment",
     "run_normalized_comparison",
     "render_comparison",
     "SEQUENCE_LENGTHS",
     "BATCH_SIZES",
+    "Table5Experiment",
     "run_table5",
     "render_table5",
+    "Table6Experiment",
     "run_table6",
     "render_table6",
+    "AreaExperiment",
     "run_area",
     "render_area",
 ]

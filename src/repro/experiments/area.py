@@ -12,9 +12,10 @@ from typing import Dict, List, Optional
 
 from repro.llm.config import LLAMA2_MODELS, LlamaConfig
 from repro.mapping.deployment import ApDeployment
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
-__all__ = ["AreaEntry", "run_area", "render_area", "PAPER_AREAS_MM2"]
+__all__ = ["AreaEntry", "AreaExperiment", "run_area", "render_area", "PAPER_AREAS_MM2"]
 
 #: Area figures reported by the paper.
 PAPER_AREAS_MM2: Dict[str, float] = {
@@ -62,3 +63,23 @@ def render_area(entries: List[AreaEntry]) -> str:
             [entry.model, entry.num_aps, entry.measured_area_mm2, entry.paper_area_mm2]
         )
     return table.render()
+
+
+@register("area")
+class AreaExperiment(Experiment):
+    """Registry wrapper: the Section V-B area figures."""
+
+    title = "Area"
+    description = "per-model AP silicon area vs the paper's mm^2 figures"
+    row_type = AreaEntry
+
+    def run(self, config=None):
+        kwargs = self._config_kwargs(config)
+        if "models" in kwargs and not isinstance(kwargs["models"], dict):
+            kwargs["models"] = {
+                name: LLAMA2_MODELS[name] for name in kwargs["models"]
+            }
+        return run_area(**kwargs)
+
+    def render(self, result):
+        return render_area(result)

@@ -10,12 +10,19 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Tuple
 
-from repro.gpu.spec import A100, GpuSpec
+from repro.gpu.spec import A100, GPUS, GpuSpec
 from repro.gpu.transformer_model import GpuTransformerModel
-from repro.llm.config import LLAMA2_7B, LlamaConfig
+from repro.llm.config import LLAMA2_7B, LLAMA2_MODELS, LlamaConfig
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
+from repro.utils.validation import check_in_choices
 
-__all__ = ["run_fig1_softmax_proportion", "render_fig1", "FIG1_SEQUENCE_LENGTHS"]
+__all__ = [
+    "Fig1Experiment",
+    "run_fig1_softmax_proportion",
+    "render_fig1",
+    "FIG1_SEQUENCE_LENGTHS",
+]
 
 #: Sequence lengths reported on the Fig. 1 x-axis.
 FIG1_SEQUENCE_LENGTHS: Tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
@@ -59,3 +66,33 @@ def render_fig1(results: List[Dict[str, float]]) -> str:
             ]
         )
     return table.render()
+
+
+@register("fig1")
+class Fig1Experiment(Experiment):
+    """Registry wrapper: Fig. 1 through the uniform runtime contract.
+
+    Config accepts ``gpu`` / ``model`` by *name* (so the CLI can set them
+    with ``--set gpu=RTX3090``) in addition to the programmatic spec
+    objects, plus ``sequence_lengths`` and ``batch_size``.
+    """
+
+    title = "Fig. 1"
+    description = "softmax share of Llama2 runtime vs sequence length"
+    row_type = None  # rows are plain dicts
+    fast_config = {"sequence_lengths": (128, 1024, 16384)}
+
+    def run(self, config=None):
+        kwargs = self._config_kwargs(config)
+        if isinstance(kwargs.get("gpu"), str):
+            kwargs["gpu"] = GPUS[check_in_choices(kwargs["gpu"], tuple(GPUS), "gpu")]
+        if isinstance(kwargs.get("model"), str):
+            kwargs["model"] = LLAMA2_MODELS[
+                check_in_choices(kwargs["model"], tuple(LLAMA2_MODELS), "model")
+            ]
+        if "sequence_lengths" in kwargs:
+            kwargs["sequence_lengths"] = tuple(kwargs["sequence_lengths"])
+        return run_fig1_softmax_proportion(**kwargs)
+
+    def render(self, result):
+        return render_fig1(result)

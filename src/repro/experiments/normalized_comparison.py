@@ -24,10 +24,12 @@ from repro.gpu.spec import GPUS, GpuSpec
 from repro.llm.config import LLAMA2_MODELS, LlamaConfig
 from repro.mapping.deployment import ApDeployment
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
 __all__ = [
     "ComparisonPoint",
+    "NormalizedComparisonExperiment",
     "run_normalized_comparison",
     "render_comparison",
     "SEQUENCE_LENGTHS",
@@ -134,3 +136,36 @@ def render_comparison(
             row.append(value)
         table.add_row(row)
     return table.render()
+
+
+@register("figs6_8")
+class NormalizedComparisonExperiment(Experiment):
+    """Registry wrapper: the Figs. 6/7/8 sweep behind Table V.
+
+    ``render`` emits all three normalized views (energy, latency, EDP);
+    config accepts ``sequence_lengths`` / ``batch_sizes`` tuples plus
+    ``models`` / ``gpus`` restricted by name (``--set models="['7b']"``).
+    """
+
+    title = "Figs. 6-8"
+    description = "normalized AP-vs-GPU energy / latency / EDP sweep"
+    row_type = ComparisonPoint
+    fast_config = {"sequence_lengths": (128, 1024, 4096), "batch_sizes": (1, 8, 32)}
+
+    def run(self, config=None):
+        kwargs = self._config_kwargs(config)
+        for key in ("sequence_lengths", "batch_sizes"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        if "models" in kwargs and not isinstance(kwargs["models"], dict):
+            kwargs["models"] = {
+                name: LLAMA2_MODELS[name] for name in kwargs["models"]
+            }
+        if "gpus" in kwargs and not isinstance(kwargs["gpus"], dict):
+            kwargs["gpus"] = {name: GPUS[name] for name in kwargs["gpus"]}
+        return run_normalized_comparison(**kwargs)
+
+    def render(self, result):
+        return "\n\n".join(
+            render_comparison(result, metric) for metric in ("energy", "latency", "edp")
+        )

@@ -5,9 +5,10 @@ from __future__ import annotations
 from typing import List
 
 from repro.quant.precision import PrecisionTableEntry, table_i
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
-__all__ = ["run_table1", "render_table1"]
+__all__ = ["Table1Experiment", "run_table1", "render_table1"]
 
 
 def run_table1() -> List[PrecisionTableEntry]:
@@ -27,3 +28,18 @@ def render_table1(entries: List[PrecisionTableEntry]) -> str:
     for name in row_names:
         table.add_row([name] + [e.widths[name] for e in entries])
     return table.render()
+
+
+@register("table1")
+class Table1Experiment(Experiment):
+    """Registry wrapper: Table I through the uniform runtime contract."""
+
+    title = "Table I"
+    description = "mixed-precision bit widths of the integer softmax"
+    row_type = PrecisionTableEntry
+
+    def run(self, config=None):
+        return run_table1(**self._config_kwargs(config))
+
+    def render(self, result):
+        return render_table1(result)

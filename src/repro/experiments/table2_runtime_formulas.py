@@ -16,9 +16,10 @@ import numpy as np
 
 from repro.ap.cost import ApCostModel
 from repro.ap.processor2d import AssociativeProcessor2D
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
-__all__ = ["Table2Row", "run_table2", "render_table2"]
+__all__ = ["Table2Experiment", "Table2Row", "run_table2", "render_table2"]
 
 
 @dataclass(frozen=True)
@@ -114,3 +115,28 @@ def render_table2(rows: List[Table2Row]) -> str:
             ]
         )
     return table.render()
+
+
+@register("table2")
+class Table2Experiment(Experiment):
+    """Registry wrapper: Table II through the uniform runtime contract.
+
+    ``--backend`` selects the functional AP *engine* cross-checking the
+    formulas (``"vectorized"`` or ``"reference"``).
+    """
+
+    title = "Table II"
+    description = "2D AP runtime formulas vs the functional simulator"
+    row_type = Table2Row
+    backend_config_key = "backend"
+    backend_choices = AssociativeProcessor2D.BACKENDS
+    fast_config = {"precisions": (6,)}
+
+    def run(self, config=None):
+        kwargs = self._config_kwargs(config)
+        if "precisions" in kwargs:
+            kwargs["precisions"] = tuple(kwargs["precisions"])
+        return run_table2(**kwargs)
+
+    def render(self, result):
+        return render_table2(result)

@@ -35,42 +35,51 @@ import numpy as np
 from repro.llm.config import LlamaConfig
 from repro.llm.dataset import SyntheticCorpus, make_corpus
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
-from repro.llm.perplexity import (
-    ap_cluster_softmax_fn,
-    evaluate_perplexity,
-    integer_softmax_fn,
-)
+from repro.llm.perplexity import evaluate_perplexity
 from repro.llm.trainer import Trainer
 from repro.mapping.cluster import ApCluster
 from repro.mapping.softmap import SoftmAPMapping
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.runtime.backend import canonical_backend_name, resolve_backend
+from repro.runtime.registry import Experiment, register
 from repro.softmax.integer_softmax import IntegerSoftmax
 from repro.softmax.metrics import kl_divergence
 from repro.softmax.reference import softmax
 from repro.utils.tables import TextTable
-from repro.utils.validation import check_in_choices
 
 __all__ = [
     "PerplexityPoint",
     "FidelityPoint",
     "ClusterEquivalenceReport",
+    "PerplexityExperiment",
+    "FidelityExperiment",
+    "ClusterParityExperiment",
     "train_reference_model",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
     "run_ap_cluster_equivalence",
     "render_perplexity_table",
     "render_fidelity_table",
+    "render_cluster_equivalence",
     "PERPLEXITY_M_VALUES",
     "PERPLEXITY_N_VALUES",
+    "PRECISION_SWEEP_BACKENDS",
     "SOFTMAX_BACKENDS",
 ]
 
-#: Attention-softmax execution backends of the perplexity sweep:
-#: ``"software"`` — the original row-by-row integer pipeline in numpy;
-#: ``"software-batched"`` — the same pipeline, one batched call per layer;
-#: ``"ap-cluster"`` — the functional multi-AP cluster (vectorized backend),
-#: every probability produced by CAM compare/write semantics.
+#: Legacy names of the perplexity sweep's attention-softmax execution paths
+#: (kept for backwards compatibility; ``softmax_backend`` now accepts any
+#: *precision-consuming* runtime backend name or alias, resolved through
+#: :func:`repro.runtime.backend.resolve_backend`):
+#: ``"software"`` / ``"software-batched"`` — the integer pipeline in numpy;
+#: ``"ap-cluster"`` — the functional multi-AP cluster.
 SOFTMAX_BACKENDS: Tuple[str, ...] = ("software", "software-batched", "ap-cluster")
+
+#: Canonical backends the precision sweep accepts.  ``float`` and
+#: ``gpu-analytical`` ignore the per-point :class:`PrecisionConfig`, so a
+#: sweep over them would silently report the FP baseline on every row —
+#: reject them eagerly instead.
+PRECISION_SWEEP_BACKENDS: Tuple[str, ...] = ("integer", "ap", "ap-batch", "ap-cluster")
 
 PERPLEXITY_M_VALUES: Tuple[int, ...] = (4, 6, 8)
 PERPLEXITY_N_VALUES: Tuple[int, ...] = (8, 12, 16, 20)
@@ -130,15 +139,19 @@ def _sweep_softmax_fn(
     num_heads: int,
     segment_length: int,
 ) -> SoftmaxFn:
-    """The attention-softmax callable for one sweep configuration."""
-    if softmax_backend == "software":
-        return integer_softmax_fn(config)
-    if softmax_backend == "software-batched":
-        return integer_softmax_fn(config, batched=True)
-    # "ap-cluster": one functional AP per attention head, vectorized engine.
-    return ap_cluster_softmax_fn(
-        num_heads=num_heads, precision=config, sequence_length=segment_length
+    """The attention-softmax callable for one sweep configuration.
+
+    Resolution goes through the unified runtime API, so any registered
+    backend name (or legacy alias) works here and a typo fails eagerly
+    with a "did you mean" suggestion.
+    """
+    backend = resolve_backend(
+        softmax_backend,
+        precision=config,
+        num_heads=num_heads,
+        sequence_length=segment_length,
     )
+    return backend.softmax_fn()
 
 
 def run_perplexity_sweep(
@@ -155,13 +168,24 @@ def run_perplexity_sweep(
     """End-to-end perplexity for the precision grid (plus the FP baseline).
 
     ``softmax_backend`` selects how the replacement attention softmax is
-    executed (see :data:`SOFTMAX_BACKENDS`); with ``"ap-cluster"`` the whole
-    evaluation runs AP-backed end to end.  Note the software backends apply
-    the Barrett correction step by default while the AP dataflow uses the
-    raw quotient, so the two families can differ in the last fixed-point
+    executed — any :data:`repro.runtime.backend.BACKEND_NAMES` entry or
+    legacy alias (see :data:`SOFTMAX_BACKENDS`); with ``"ap-cluster"`` the
+    whole evaluation runs AP-backed end to end.  Note the software backends
+    apply the Barrett correction step by default while the AP dataflow uses
+    the raw quotient, so the two families can differ in the last fixed-point
     digit of individual probabilities.
     """
-    check_in_choices(softmax_backend, SOFTMAX_BACKENDS, "softmax_backend")
+    # Validate eagerly (single authority, with a did-you-mean for typos)
+    # before spending time training the reference model; only backends that
+    # actually consume the swept PrecisionConfig make a meaningful table.
+    canonical = canonical_backend_name(softmax_backend)
+    if canonical not in PRECISION_SWEEP_BACKENDS:
+        raise ValueError(
+            f"softmax_backend {softmax_backend!r} ignores the per-point "
+            f"precision configuration, so the sweep would report the FP "
+            f"baseline on every row; choose one of "
+            f"{', '.join(PRECISION_SWEEP_BACKENDS)} (or a legacy alias)"
+        )
     if model is None or corpus is None:
         model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
     segment = model.config.max_context - 16
@@ -335,3 +359,92 @@ def render_fidelity_table(points: List[FidelityPoint]) -> str:
             ]
         )
     return table.render()
+
+
+def render_cluster_equivalence(report: ClusterEquivalenceReport) -> str:
+    """Render the AP-cluster parity report."""
+    verdict = "bit-identical" if report.bit_identical else "DIVERGED"
+    return (
+        f"AP cluster parity ({report.batch} batch x {report.heads} heads "
+        f"x {report.sequence_length} seq): {verdict} to the software "
+        f"pipeline; cluster {report.cluster_seconds:.3f}s vs row-by-row "
+        f"{report.row_by_row_seconds:.3f}s -> {report.speedup:.1f}x"
+    )
+
+
+def _tuple_config(kwargs: dict, *keys: str) -> dict:
+    for key in keys:
+        if key in kwargs:
+            kwargs[key] = tuple(kwargs[key])
+    return kwargs
+
+
+@register("table3_4")
+class PerplexityExperiment(Experiment):
+    """Registry wrapper: the Tables III/IV perplexity sweep.
+
+    ``--backend`` selects the attention-softmax execution path (any
+    runtime backend name, e.g. ``integer`` or ``ap-cluster``).
+    """
+
+    title = "Tables III/IV"
+    description = "perplexity of the substitute model per precision config"
+    row_type = PerplexityPoint
+    backend_config_key = "softmax_backend"
+    fast_config = {
+        "m_values": (8,),
+        "n_values": (16,),
+        "include_m4": False,
+        "training_steps": 40,
+    }
+
+    def run(self, config=None):
+        kwargs = _tuple_config(
+            self._config_kwargs(config), "m_values", "n_values", "vcorr_deltas"
+        )
+        return run_perplexity_sweep(**kwargs)
+
+    def render(self, result):
+        return render_perplexity_table(result)
+
+
+@register("fidelity")
+class FidelityExperiment(Experiment):
+    """Registry wrapper: the Tables III/IV fidelity companion sweep."""
+
+    title = "Tables III/IV"
+    description = "softmax fidelity (KL, mass error, saturation) at length 2048"
+    row_type = FidelityPoint
+    fast_config = {
+        "sequence_length": 512,
+        "rows": 8,
+        "m_values": (6,),
+        "n_values": (8, 16),
+        "vcorr_deltas": (0,),
+    }
+
+    def run(self, config=None):
+        kwargs = _tuple_config(
+            self._config_kwargs(config), "m_values", "n_values", "vcorr_deltas"
+        )
+        return run_softmax_fidelity_sweep(**kwargs)
+
+    def render(self, result):
+        return render_fidelity_table(result)
+
+
+@register("cluster-parity")
+class ClusterParityExperiment(Experiment):
+    """Registry wrapper: AP-cluster bit-exactness + speedup report."""
+
+    title = "Cluster"
+    description = "AP-cluster parity vs software and row-by-row paths"
+    row_type = ClusterEquivalenceReport
+    scalar_result = True
+    fast_config = {"heads": 2, "sequence_length": 32, "batch": 4}
+
+    def run(self, config=None):
+        return run_ap_cluster_equivalence(**self._config_kwargs(config))
+
+    def render(self, result):
+        return render_cluster_equivalence(result)

@@ -9,9 +9,10 @@ from repro.experiments.normalized_comparison import (
     ComparisonPoint,
     run_normalized_comparison,
 )
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
-__all__ = ["Table5Entry", "run_table5", "render_table5"]
+__all__ = ["Table5Entry", "Table5Experiment", "run_table5", "render_table5"]
 
 
 @dataclass(frozen=True)
@@ -64,3 +65,18 @@ def render_table5(entries: List[Table5Entry]) -> str:
             ]
         )
     return table.render()
+
+
+@register("table5")
+class Table5Experiment(Experiment):
+    """Registry wrapper: Table V through the uniform runtime contract."""
+
+    title = "Table V"
+    description = "highest normalized EDP ratio per (model, GPU) pair"
+    row_type = Table5Entry
+
+    def run(self, config=None):
+        return run_table5(**self._config_kwargs(config))
+
+    def render(self, result):
+        return render_table5(result)

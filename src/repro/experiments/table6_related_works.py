@@ -14,9 +14,16 @@ from typing import List
 from repro.ap.cost import ApCostModel
 from repro.ap.tech import TECH_16NM
 from repro.quant.precision import BEST_PRECISION
+from repro.runtime.registry import Experiment, register
 from repro.utils.tables import TextTable
 
-__all__ = ["RelatedWork", "run_table6", "render_table6", "RELATED_WORKS"]
+__all__ = [
+    "RelatedWork",
+    "Table6Experiment",
+    "run_table6",
+    "render_table6",
+    "RELATED_WORKS",
+]
 
 
 @dataclass(frozen=True)
@@ -83,3 +90,18 @@ def render_table6(entries: List[RelatedWork]) -> str:
             ]
         )
     return table.render()
+
+
+@register("table6")
+class Table6Experiment(Experiment):
+    """Registry wrapper: Table VI through the uniform runtime contract."""
+
+    title = "Table VI"
+    description = "energy/op comparison with ConSmax and Softermax"
+    row_type = RelatedWork
+
+    def run(self, config=None):
+        return run_table6(**self._config_kwargs(config))
+
+    def render(self, result):
+        return render_table6(result)

@@ -17,6 +17,12 @@ Modules
 :mod:`repro.gpu.transformer_model`
     Whole-model runtime breakdown used for Fig. 1 (softmax runtime
     proportion) and the Amdahl analysis.
+
+The kernel model is also reachable through the unified runtime API as the
+``"gpu-analytical"`` softmax backend
+(``repro.runtime.resolve_backend("gpu-analytical", options={"gpu":
+"RTX3090"})``), which attaches the analytical kernel cost to every
+softmax pass via the shared ``SoftmaxResult`` seam.
 """
 
 from repro.gpu.spec import GpuSpec, A100, RTX3090, GPUS

@@ -129,6 +129,7 @@ class TinyLlamaModel:
         self,
         tokens: np.ndarray,
         softmax_fn: Optional[SoftmaxFn] = None,
+        backend: Optional[object] = None,
     ) -> Tensor:
         """Compute next-token logits for a 1-D token id sequence.
 
@@ -140,7 +141,24 @@ class TinyLlamaModel:
             Optional replacement for the attention softmax, applied row by
             row over each query's causally-valid prefix.  Must only be used
             for evaluation (no gradients flow through it).
+        backend:
+            Optional replacement attention softmax selected through the
+            unified runtime API — a backend name, a
+            :class:`~repro.runtime.backend.BackendSpec` or a resolved
+            :class:`~repro.runtime.backend.SoftmaxBackend`; the model's
+            head count and context width fill in unspecified spec fields.
+            Mutually exclusive with ``softmax_fn``.
         """
+        if backend is not None:
+            if softmax_fn is not None:
+                raise ValueError("pass either softmax_fn or backend, not both")
+            # Imported lazily: the base substrate must stay importable
+            # without pulling the whole runtime/mapping/gpu stack in.
+            from repro.runtime.backend import resolve_model_backend
+
+            softmax_fn = resolve_model_backend(
+                backend, self.config.num_heads, self.config.max_context
+            ).softmax_fn()
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.ndim != 1:
             raise ValueError("forward expects a 1-D token sequence")
@@ -163,12 +181,17 @@ class TinyLlamaModel:
         x = rms_norm(x, self.final_norm)
         return matmul(x, self.output_head)
 
-    def loss(self, tokens: np.ndarray, softmax_fn: Optional[SoftmaxFn] = None) -> Tensor:
+    def loss(
+        self,
+        tokens: np.ndarray,
+        softmax_fn: Optional[SoftmaxFn] = None,
+        backend: Optional[object] = None,
+    ) -> Tensor:
         """Mean next-token cross entropy on a token sequence."""
         tokens = np.asarray(tokens, dtype=np.int64)
         if tokens.shape[0] < 2:
             raise ValueError("need at least two tokens to form a prediction target")
-        logits = self.forward(tokens[:-1], softmax_fn=softmax_fn)
+        logits = self.forward(tokens[:-1], softmax_fn=softmax_fn, backend=backend)
         return cross_entropy(logits, tokens[1:])
 
     # ------------------------------------------------------------------ #

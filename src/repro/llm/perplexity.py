@@ -4,87 +4,60 @@ The paper's protocol (Section IV): concatenate the validation set, split it
 into non-overlapping segments of the model's context width, feed each
 segment to the model, and report the exponentiated average next-token
 negative log-likelihood.  :func:`evaluate_perplexity` follows that protocol
-on the synthetic corpus; the ``softmax_fn`` argument selects between the
-floating-point attention softmax (``None``) and any replacement such as
-:class:`~repro.softmax.integer_softmax.IntegerSoftmax`.
+on the synthetic corpus.
+
+The replacement attention softmax is selected through the unified runtime
+API: pass ``backend=`` a name ("integer", "ap-cluster", ...), a
+:class:`~repro.runtime.backend.BackendSpec`, or a resolved
+:class:`~repro.runtime.backend.SoftmaxBackend` — the model's head count and
+context width are filled in automatically.  The older ``softmax_fn``
+argument (a raw callable) remains supported, and
+:func:`integer_softmax_fn` / :func:`ap_cluster_softmax_fn` are kept as thin
+shims over :func:`~repro.runtime.backend.resolve_backend` for existing
+callers.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
 from repro.nn.autograd import no_grad
 from repro.quant.precision import PrecisionConfig
-from repro.softmax.integer_softmax import IntegerSoftmax
+from repro.runtime.backend import (
+    BackendSpec,
+    SoftmaxBackend,
+    resolve_backend,
+    resolve_model_backend,
+)
 from repro.utils.validation import check_positive_int
 
 __all__ = ["evaluate_perplexity", "integer_softmax_fn", "ap_cluster_softmax_fn"]
 
-
-class _BatchedIntegerSoftmaxFn:
-    """Batched software-pipeline softmax honouring the model's extended
-    ``softmax_fn`` contract (see :mod:`repro.llm.model`).
-
-    Rows are grouped by their causal prefix length and each group's valid
-    prefix is evaluated in one vectorized :class:`IntegerSoftmax` call —
-    bit-identical to applying the pipeline row by row (every stage of the
-    integer core is row-wise), but without the per-row Python loop.
-    """
-
-    supports_batch = True
-
-    def __init__(self, integer_softmax: IntegerSoftmax) -> None:
-        self.integer_softmax = integer_softmax
-
-    def __call__(
-        self,
-        scores: np.ndarray,
-        valid_lengths: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        scores = np.asarray(scores, dtype=np.float64)
-        if scores.ndim == 1:
-            if valid_lengths is None:
-                return self.integer_softmax(scores)
-            lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
-            if lengths.shape != (1,):
-                raise ValueError(
-                    "a 1-D score vector takes exactly one valid_lengths entry"
-                )
-            probabilities = np.zeros_like(scores)
-            probabilities[: lengths[0]] = self.integer_softmax(scores[: lengths[0]])
-            return probabilities
-        if valid_lengths is None:
-            return self.integer_softmax(scores)
-        valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
-        probabilities = np.zeros_like(scores)
-        for length in np.unique(valid_lengths):
-            rows = valid_lengths == length
-            probabilities[rows, :length] = self.integer_softmax(
-                scores[rows, :length]
-            )
-        return probabilities
+#: Anything :func:`evaluate_perplexity`'s ``backend`` argument accepts.
+BackendLike = Union[str, BackendSpec, SoftmaxBackend]
 
 
 def integer_softmax_fn(
     precision: PrecisionConfig, batched: bool = False, **kwargs
 ) -> SoftmaxFn:
-    """Build a replacement softmax callable from a precision configuration.
+    """Deprecated shim: a software integer-softmax callable.
 
-    The returned callable maps score vectors to probabilities using the
-    integer-only pipeline, exactly as the per-head AP would.  With
-    ``batched=True`` the callable implements the model's batched contract
-    (``supports_batch = True``; one ``(rows, seq)`` call per layer instead
-    of one call per attention row) and produces bit-identical results.
+    Equivalent to ``resolve_backend("integer", precision=precision,
+    options=kwargs).softmax_fn()``; with ``batched=False`` the returned
+    callable follows the original row-by-row contract (no
+    ``supports_batch`` attribute), producing bit-identical results.
+    Prefer ``evaluate_perplexity(..., backend="integer")`` or
+    :func:`~repro.runtime.backend.resolve_backend` directly.
     """
-    integer_softmax = IntegerSoftmax(precision=precision, **kwargs)
+    backend = resolve_backend("integer", precision=precision, options=kwargs)
     if batched:
-        return _BatchedIntegerSoftmaxFn(integer_softmax)
+        return backend.softmax_fn()
 
     def apply(scores: np.ndarray) -> np.ndarray:
-        return integer_softmax(np.asarray(scores, dtype=np.float64))
+        return backend.run(scores).probabilities
 
     return apply
 
@@ -96,25 +69,24 @@ def ap_cluster_softmax_fn(
     backend: str = "vectorized",
     **kwargs,
 ) -> SoftmaxFn:
-    """An attention softmax executed on the functional multi-AP cluster.
+    """Deprecated shim: an attention softmax on the functional AP cluster.
 
-    Builds an :class:`~repro.mapping.cluster.ApCluster` with one per-head AP
-    and returns its batched ``softmax_fn`` adapter, so the whole perplexity
-    evaluation runs the attention softmax through CAM compare/write
-    semantics.  The result is bit-identical to the software pipeline with
-    ``barrett_correction=False`` (the AP dataflow uses the raw Barrett
-    quotient) as long as the sum accumulator does not saturate.
+    Equivalent to ``resolve_backend("ap-cluster", num_heads=...,
+    precision=..., sequence_length=..., engine=backend,
+    options=kwargs).softmax_fn()`` — one simulated per-head AP per
+    attention head, every probability produced by CAM compare/write
+    semantics, bit-identical to the software pipeline with
+    ``barrett_correction=False`` while the sum accumulator does not
+    saturate.  Prefer ``evaluate_perplexity(..., backend="ap-cluster")``.
     """
-    from repro.mapping.cluster import ApCluster
-
-    cluster = ApCluster(
+    return resolve_backend(
+        "ap-cluster",
         num_heads=num_heads,
         precision=precision,
         sequence_length=sequence_length,
-        backend=backend,
-        **kwargs,
-    )
-    return cluster.softmax_fn()
+        engine=backend,
+        options=kwargs,
+    ).softmax_fn()
 
 
 def evaluate_perplexity(
@@ -122,6 +94,7 @@ def evaluate_perplexity(
     tokens: np.ndarray,
     segment_length: Optional[int] = None,
     softmax_fn: Optional[SoftmaxFn] = None,
+    backend: Optional[BackendLike] = None,
 ) -> float:
     """Perplexity of ``model`` on ``tokens`` following the paper's protocol.
 
@@ -135,9 +108,22 @@ def evaluate_perplexity(
         Width of the non-overlapping evaluation segments; defaults to the
         model's full context (the paper uses the models' 2048-token context).
     softmax_fn:
-        Optional replacement attention softmax (see
-        :func:`integer_softmax_fn`).
+        Optional replacement attention softmax as a raw callable (the
+        legacy entry point; see :func:`integer_softmax_fn`).
+    backend:
+        Optional replacement attention softmax as a runtime backend — a
+        name ("float", "integer", "ap", "ap-batch", "ap-cluster",
+        "gpu-analytical"), a :class:`~repro.runtime.backend.BackendSpec`,
+        or a resolved backend instance.  Mutually exclusive with
+        ``softmax_fn``.  Pass a resolved instance to read its accumulated
+        cost telemetry afterwards.
     """
+    if backend is not None:
+        if softmax_fn is not None:
+            raise ValueError("pass either softmax_fn or backend, not both")
+        softmax_fn = resolve_model_backend(
+            backend, model.config.num_heads, model.config.max_context
+        ).softmax_fn()
     tokens = np.asarray(tokens, dtype=np.int64)
     if segment_length is None:
         segment_length = model.config.max_context

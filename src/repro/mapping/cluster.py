@@ -118,6 +118,12 @@ class ClusterSoftmaxFn:
     batch row ``b`` of head ``h`` — to probabilities of the same shape,
     zeroing every position at or beyond the row's ``valid_lengths`` entry.
     A plain 1-D score vector is also accepted and runs on head 0.
+
+    Since the unified runtime API landed this class is a thin shim over
+    :meth:`ApCluster.as_backend`: every call delegates to the cluster's
+    :class:`~repro.runtime.backend.ApClusterBackend`, whose ``telemetry``
+    accumulates the cost of each pass (reachable via
+    :meth:`runtime_backend`).
     """
 
     #: Marks the extended (rows, seq) -> (rows, seq) softmax_fn contract.
@@ -126,6 +132,14 @@ class ClusterSoftmaxFn:
     def __init__(self, cluster: "ApCluster", backend: Optional[str] = None) -> None:
         self.cluster = cluster
         self.backend = backend
+        self._runtime_backend = None
+
+    def runtime_backend(self):
+        """The :class:`~repro.runtime.backend.ApClusterBackend` executing
+        the calls (built lazily; runtime imports this module)."""
+        if self._runtime_backend is None:
+            self._runtime_backend = self.cluster.as_backend(engine=self.backend)
+        return self._runtime_backend
 
     def __call__(
         self,
@@ -133,46 +147,14 @@ class ClusterSoftmaxFn:
         valid_lengths: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         scores = np.asarray(scores, dtype=np.float64)
-        if scores.ndim == 1:
-            if scores.size > self.cluster.sequence_length:
-                raise ValueError(
-                    f"sequence length {scores.size} exceeds the provisioned "
-                    f"maximum {self.cluster.sequence_length}"
-                )
-            lengths_1d = None
-            if valid_lengths is not None:
-                lengths_1d = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
-                if lengths_1d.shape != (1,):
-                    raise ValueError(
-                        "a 1-D score vector takes exactly one valid_lengths entry"
-                    )
-            return self.cluster.head_mapping(0).execute_functional_batch(
-                scores[None, :], backend=self.backend, valid_lengths=lengths_1d
-            )[0]
-        if scores.ndim != 2:
+        if scores.ndim > 2:
+            # The model's softmax_fn contract is (rows, seq); the backend's
+            # run() additionally accepts (batch, heads, seq) tensors, which
+            # this adapter deliberately does not expose.
             raise ValueError("cluster softmax_fn expects a (rows, seq) matrix")
-        heads = self.cluster.num_heads
-        if scores.shape[0] % heads != 0:
-            raise ValueError(
-                f"rows ({scores.shape[0]}) must be a multiple of the cluster "
-                f"head count ({heads}); stack the score matrices head-major"
-            )
-        batch = scores.shape[0] // heads
-        # Head-major (heads * batch, seq) -> (batch, heads, seq).
-        stacked = scores.reshape(heads, batch, -1).transpose(1, 0, 2)
-        lengths = None
-        if valid_lengths is not None:
-            lengths = np.asarray(valid_lengths, dtype=np.int64)
-            if lengths.shape != (scores.shape[0],):
-                raise ValueError(
-                    f"valid_lengths must have shape ({scores.shape[0]},), "
-                    f"got {lengths.shape}"
-                )
-            lengths = lengths.reshape(heads, batch).T
-        probabilities = self.cluster.execute(
-            stacked, valid_lengths=lengths, backend=self.backend
-        )
-        return probabilities.transpose(1, 0, 2).reshape(scores.shape)
+        return self.runtime_backend().run(
+            scores, valid_lengths=valid_lengths
+        ).probabilities
 
 
 class ApCluster:
@@ -296,6 +278,21 @@ class ApCluster:
     def softmax_fn(self, backend: Optional[str] = None) -> ClusterSoftmaxFn:
         """A batched attention-softmax callable for the LLM substrate."""
         return ClusterSoftmaxFn(self, backend=backend)
+
+    def as_backend(self, engine: Optional[str] = None):
+        """This cluster as a :class:`~repro.runtime.backend.SoftmaxBackend`.
+
+        The returned :class:`~repro.runtime.backend.ApClusterBackend` wraps
+        *this* cluster (no per-head APs are rebuilt) and exposes the uniform
+        ``run(scores) -> SoftmaxResult`` contract — probabilities plus the
+        concurrency-aware cost of every pass.  ``engine`` optionally
+        overrides the functional engine per backend
+        (``"reference"``/``"vectorized"``).
+        """
+        # Imported lazily: repro.runtime.backend imports this module.
+        from repro.runtime.backend import ApClusterBackend
+
+        return ApClusterBackend.from_cluster(self, engine=engine)
 
     # ------------------------------------------------------------------ #
     # Concurrency-aware analytical cost                                    #

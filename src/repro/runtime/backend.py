@@ -1,0 +1,763 @@
+"""The unified softmax-execution API: one protocol, many backends.
+
+Before this module existed the codebase had four ways to pick a softmax
+execution path — ``softmax_fn`` callables threaded through
+:mod:`repro.llm.perplexity`, ``softmax_backend`` strings in the Tables
+III/IV harness, ``backend=("reference"|"vectorized")`` engine kwargs on the
+AP stack, and the ad-hoc :class:`~repro.mapping.cluster.ClusterSoftmaxFn`
+adapter.  :func:`resolve_backend` replaces all of them with a single factory
+over named, uniformly shaped backends:
+
+=================  =========================================================
+name               execution path
+=================  =========================================================
+``float``          numerically stable floating-point softmax (the accuracy
+                   baseline; no hardware cost attached)
+``integer``        the pure-software integer-only pipeline of Algorithm 1
+                   (:class:`~repro.softmax.integer_softmax.IntegerSoftmax`)
+``ap``             row-by-row functional AP execution — one
+                   :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional`
+                   call per score vector (the pre-cluster replacement path)
+``ap-batch``       one batched
+                   :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
+                   call for a whole ``(rows, seq)`` tensor on one AP
+``ap-cluster``     the functional multi-AP cluster — one per-head AP, every
+                   probability produced by CAM compare/write semantics
+``gpu-analytical`` floating-point probabilities costed with the analytical
+                   GPU kernel model (:mod:`repro.gpu`)
+=================  =========================================================
+
+Every backend implements the :class:`SoftmaxBackend` protocol:
+``run(scores, valid_lengths) -> SoftmaxResult`` returns probabilities
+*together with* the analytical cost and cycle count of the pass (cost
+telemetry is no longer a side channel), and ``softmax_fn()`` adapts the
+backend to the LLM substrate's batched attention-softmax contract
+(see :mod:`repro.llm.model`).  Backend names are validated eagerly in
+:func:`resolve_backend`, which raises :class:`UnknownBackendError` with a
+"did you mean" suggestion for near-misses — the single place replacing the
+per-module string checks that used to be scattered across ``experiments/``,
+``llm/`` and ``mapping/``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.ap.processor2d import AssociativeProcessor2D
+from repro.gpu.softmax_model import GpuSoftmaxModel, KernelCost
+from repro.gpu.spec import GPUS, GpuSpec
+from repro.mapping.cluster import ApCluster
+from repro.mapping.softmap import MappingCost, SoftmAPMapping
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.softmax.integer_softmax import IntegerSoftmax
+from repro.softmax.reference import softmax as float_softmax
+from repro.utils.validation import check_in_choices
+
+from typing import Protocol, runtime_checkable
+
+__all__ = [
+    "BACKEND_ALIASES",
+    "BACKEND_NAMES",
+    "BackendCost",
+    "BackendSpec",
+    "BackendTelemetry",
+    "SoftmaxBackend",
+    "SoftmaxResult",
+    "UnknownBackendError",
+    "backend_descriptions",
+    "canonical_backend_name",
+    "resolve_backend",
+    "resolve_model_backend",
+]
+
+#: Canonical backend names, in presentation order.
+BACKEND_NAMES: Tuple[str, ...] = (
+    "float",
+    "integer",
+    "ap",
+    "ap-batch",
+    "ap-cluster",
+    "gpu-analytical",
+)
+
+#: Legacy spelling -> canonical name.  ``software``/``software-batched`` are
+#: the historical Tables III/IV sweep names; ``fp``/``fp32``/``gpu`` are
+#: common colloquialisms worth accepting.  (``reference``/``vectorized`` are
+#: deliberately *not* aliases — they name the functional AP engine, i.e. the
+#: ``engine`` field of a :class:`BackendSpec`.)
+BACKEND_ALIASES: Dict[str, str] = {
+    "fp": "float",
+    "fp32": "float",
+    "software": "integer",
+    "software-batched": "integer",
+    "gpu": "gpu-analytical",
+}
+
+_DESCRIPTIONS: Dict[str, str] = {
+    "float": "floating-point reference softmax (accuracy baseline, no cost model)",
+    "integer": "pure-software integer-only pipeline (Algorithm 1 in numpy)",
+    "ap": "row-by-row functional AP execution (one pass per score vector)",
+    "ap-batch": "batched functional AP execution (whole tensor on one AP)",
+    "ap-cluster": "functional multi-AP cluster (one per-head AP, CAM semantics)",
+    "gpu-analytical": "float softmax costed with the analytical GPU kernel model",
+}
+
+
+class UnknownBackendError(ValueError):
+    """An unknown backend name, with a "did you mean" suggestion attached."""
+
+    def __init__(self, name: str) -> None:
+        valid = sorted(set(BACKEND_NAMES) | set(BACKEND_ALIASES))
+        close = difflib.get_close_matches(name, valid, n=1, cutoff=0.5)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        super().__init__(
+            f"unknown softmax backend {name!r}{hint} "
+            f"(valid backends: {', '.join(BACKEND_NAMES)}; "
+            f"legacy aliases: {', '.join(sorted(BACKEND_ALIASES))})"
+        )
+        self.name = name
+        self.suggestion = close[0] if close else None
+
+
+def canonical_backend_name(name: str) -> str:
+    """Validate a backend name eagerly, resolving legacy aliases.
+
+    This is the single place backend-name strings are checked; every other
+    module resolves through here so a typo fails fast with a helpful
+    suggestion instead of deep inside a sweep.
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"backend name must be a str, got {type(name).__name__}")
+    resolved = BACKEND_ALIASES.get(name, name)
+    if resolved not in BACKEND_NAMES:
+        raise UnknownBackendError(name)
+    return resolved
+
+
+def backend_descriptions() -> Dict[str, str]:
+    """Canonical name -> one-line description (for ``repro backends``)."""
+    return dict(_DESCRIPTIONS)
+
+
+# --------------------------------------------------------------------------- #
+# Uniform result / spec / telemetry shapes                                     #
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BackendCost:
+    """Normalised cost attached to one backend pass.
+
+    AP-family backends report the analytical Table II / technology-model
+    cost of the pass; ``gpu-analytical`` reports the kernel model's cost;
+    the pure-software backends report no cost (``SoftmaxResult.cost`` is
+    ``None`` for them).
+    """
+
+    latency_s: float
+    energy_j: float
+    area_mm2: Optional[float] = None
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.latency_s * self.energy_j
+
+
+@dataclass(frozen=True)
+class SoftmaxResult:
+    """Probabilities plus cost telemetry of one backend pass.
+
+    Attributes
+    ----------
+    probabilities:
+        Softmax probabilities, same shape as the input scores.
+    cost:
+        Analytical latency/energy of the pass (``None`` for the pure
+        software backends, which model no hardware).
+    cycles:
+        Compare/write (or kernel) cycle count of the pass, when the backend
+        has a cycle notion (``None`` otherwise).
+    backend:
+        Canonical name of the backend that produced the result.
+    """
+
+    probabilities: np.ndarray
+    cost: Optional[BackendCost] = None
+    cycles: Optional[float] = None
+    backend: str = ""
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Declarative description of a backend instance.
+
+    ``resolve_backend`` accepts a spec (or builds one from a name plus
+    keyword overrides) and returns the matching :class:`SoftmaxBackend`.
+
+    Attributes
+    ----------
+    name:
+        Canonical backend name (see :data:`BACKEND_NAMES`).
+    precision:
+        Mixed-precision configuration for the integer/AP paths
+        (``None`` -> the paper's best combination).
+    sequence_length:
+        Maximum sequence length the AP paths are provisioned for
+        (``None`` -> 2048, the paper's context).
+    num_heads:
+        Attention-head count (required by ``ap-cluster``, which shards
+        head-major score matrices across one AP per head).
+    engine:
+        Functional AP engine — ``"reference"`` (bit-serial ground truth) or
+        ``"vectorized"`` (packed-word, bit-identical); ``None`` -> the
+        fast path for cluster/batch and reference semantics elsewhere.
+    options:
+        Extra keyword arguments forwarded to the underlying implementation
+        (e.g. ``barrett_correction`` / ``sum_overflow`` for ``integer``,
+        ``gpu`` / ``heads`` for ``gpu-analytical``).
+    """
+
+    name: str
+    precision: Optional[PrecisionConfig] = None
+    sequence_length: Optional[int] = None
+    num_heads: Optional[int] = None
+    engine: Optional[str] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", canonical_backend_name(self.name))
+        if self.engine is not None:
+            check_in_choices(self.engine, AssociativeProcessor2D.BACKENDS, "engine")
+
+
+@dataclass
+class BackendTelemetry:
+    """Accumulated cost telemetry across every ``run()`` of one backend.
+
+    The LLM substrate consumes backends through the probability-only
+    ``softmax_fn`` adapter; the telemetry keeps the cost side of each pass
+    addressable afterwards instead of losing it (e.g. the total AP energy
+    of a whole perplexity evaluation).
+    """
+
+    calls: int = 0
+    rows: int = 0
+    cycles: float = 0.0
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+
+    def record(self, result: SoftmaxResult) -> None:
+        self.calls += 1
+        self.rows += int(np.prod(result.probabilities.shape[:-1], dtype=np.int64))
+        if result.cycles is not None:
+            self.cycles += float(result.cycles)
+        if result.cost is not None:
+            self.latency_s += result.cost.latency_s
+            self.energy_j += result.cost.energy_j
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.rows = 0
+        self.cycles = 0.0
+        self.latency_s = 0.0
+        self.energy_j = 0.0
+
+
+@runtime_checkable
+class SoftmaxBackend(Protocol):
+    """Structural protocol every softmax execution backend satisfies."""
+
+    spec: BackendSpec
+    telemetry: BackendTelemetry
+
+    def run(
+        self, scores: np.ndarray, valid_lengths: Optional[np.ndarray] = None
+    ) -> SoftmaxResult:
+        """Execute softmax over the last axis, returning probs + cost."""
+        ...
+
+    def softmax_fn(self) -> Callable[..., np.ndarray]:
+        """Adapter implementing the LLM substrate's ``softmax_fn`` contract."""
+        ...
+
+
+class _BackendSoftmaxFn:
+    """Probability-only adapter: the model's batched ``softmax_fn`` contract
+    (``supports_batch = True``) on top of a backend's ``run()``; the cost
+    side of every pass accumulates in ``backend.telemetry``."""
+
+    supports_batch = True
+
+    def __init__(self, backend: "_BackendBase") -> None:
+        self.backend = backend
+
+    def __call__(
+        self,
+        scores: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        return self.backend.run(scores, valid_lengths=valid_lengths).probabilities
+
+
+class _BackendBase:
+    """Shared scaffolding: input normalisation, telemetry, the adapter."""
+
+    def __init__(self, spec: BackendSpec) -> None:
+        self.spec = spec
+        self.telemetry = BackendTelemetry()
+
+    # -- protocol ------------------------------------------------------- #
+    def run(
+        self, scores: np.ndarray, valid_lengths: Optional[np.ndarray] = None
+    ) -> SoftmaxResult:
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.ndim == 0:
+            raise ValueError("scores must have at least one dimension")
+        lengths = self._check_lengths(scores, valid_lengths)
+        result = self._run(scores, lengths)
+        self.telemetry.record(result)
+        return result
+
+    def softmax_fn(self) -> _BackendSoftmaxFn:
+        return _BackendSoftmaxFn(self)
+
+    # -- helpers -------------------------------------------------------- #
+    @staticmethod
+    def _check_lengths(
+        scores: np.ndarray, valid_lengths: Optional[np.ndarray]
+    ) -> Optional[np.ndarray]:
+        if valid_lengths is None:
+            return None
+        lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
+        rows = int(np.prod(scores.shape[:-1], dtype=np.int64)) if scores.ndim > 1 else 1
+        if lengths.shape != (rows,):
+            raise ValueError(
+                f"valid_lengths must hold one entry per score row "
+                f"({rows}), got shape {lengths.shape}"
+            )
+        if np.any(lengths < 1) or np.any(lengths > scores.shape[-1]):
+            raise ValueError("valid_lengths must lie in 1..seq for every row")
+        return lengths
+
+    @staticmethod
+    def _rows_view(scores: np.ndarray) -> np.ndarray:
+        """Flatten leading axes so every backend core sees (rows, seq)."""
+        if scores.ndim == 1:
+            return scores[None, :]
+        return scores.reshape(-1, scores.shape[-1])
+
+    def _run(
+        self, scores: np.ndarray, lengths: Optional[np.ndarray]
+    ) -> SoftmaxResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _masked_float_softmax(
+    rows: np.ndarray, lengths: Optional[np.ndarray]
+) -> np.ndarray:
+    """Reference softmax over each row's valid prefix, zeros beyond it."""
+    if lengths is None:
+        return float_softmax(rows)
+    mask = np.arange(rows.shape[1])[None, :] < lengths[:, None]
+    probabilities = float_softmax(np.where(mask, rows, -np.inf))
+    return np.where(mask, probabilities, 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Concrete backends                                                            #
+# --------------------------------------------------------------------------- #
+class FloatBackend(_BackendBase):
+    """``float`` — the numerically stable FP softmax (accuracy baseline)."""
+
+    def _run(self, scores, lengths):
+        rows = self._rows_view(scores)
+        probabilities = _masked_float_softmax(rows, lengths).reshape(scores.shape)
+        return SoftmaxResult(probabilities=probabilities, backend=self.spec.name)
+
+
+class IntegerBackend(_BackendBase):
+    """``integer`` — the pure-software Algorithm 1 pipeline.
+
+    Rows sharing a causal prefix length are evaluated in one vectorized
+    :class:`~repro.softmax.integer_softmax.IntegerSoftmax` call, which is
+    bit-identical to applying the pipeline row by row (every stage of the
+    integer core is row-wise).
+    """
+
+    def __init__(self, spec: BackendSpec) -> None:
+        super().__init__(spec)
+        self.integer_softmax = IntegerSoftmax(
+            precision=spec.precision or BEST_PRECISION, **dict(spec.options)
+        )
+
+    def _run(self, scores, lengths):
+        rows = self._rows_view(scores)
+        if lengths is None:
+            probabilities = self.integer_softmax(rows)
+        else:
+            probabilities = np.zeros_like(rows)
+            for length in np.unique(lengths):
+                selected = lengths == length
+                probabilities[selected, :length] = self.integer_softmax(
+                    rows[selected, :length]
+                )
+        return SoftmaxResult(
+            probabilities=probabilities.reshape(scores.shape),
+            backend=self.spec.name,
+        )
+
+
+class _ApBackendBase(_BackendBase):
+    """Shared mapping construction + per-length analytical cost cache."""
+
+    def __init__(self, spec: BackendSpec) -> None:
+        super().__init__(spec)
+        self.precision = spec.precision or BEST_PRECISION
+        self.engine = spec.engine or "vectorized"
+        self.provisioned_length = spec.sequence_length or 2048
+        self._mapping_options = dict(spec.options)
+        self._mapping = self._make_mapping(self.provisioned_length)
+        self._cost_cache: Dict[int, MappingCost] = {}
+
+    def _make_mapping(self, sequence_length: int) -> SoftmAPMapping:
+        return SoftmAPMapping(
+            precision=self.precision,
+            sequence_length=sequence_length,
+            backend=self.engine,
+            **self._mapping_options,
+        )
+
+    def _pass_cost(self, sequence_length: int) -> MappingCost:
+        if sequence_length not in self._cost_cache:
+            mapping = (
+                self._mapping
+                if sequence_length == self.provisioned_length
+                else self._make_mapping(sequence_length)
+            )
+            self._cost_cache[sequence_length] = mapping.cost()
+        return self._cost_cache[sequence_length]
+
+    def _check_provisioned(self, sequence_length: int) -> None:
+        if sequence_length > self.provisioned_length:
+            raise ValueError(
+                f"sequence length {sequence_length} exceeds the provisioned "
+                f"maximum {self.provisioned_length}"
+            )
+
+
+class ApRowBackend(_ApBackendBase):
+    """``ap`` — one functional AP pass per score vector.
+
+    This is the pre-cluster replacement path: each row's causally-valid
+    prefix is executed in its own
+    :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional` call.
+    Latency/energy/cycles are the *sum* of the per-row passes (the rows run
+    sequentially on one AP).
+    """
+
+    def _run(self, scores, lengths):
+        rows = self._rows_view(scores)
+        self._check_provisioned(rows.shape[1])
+        probabilities = np.zeros_like(rows)
+        latency = energy = cycles = 0.0
+        for i in range(rows.shape[0]):
+            length = int(lengths[i]) if lengths is not None else rows.shape[1]
+            probabilities[i, :length] = self._mapping.execute_functional(
+                rows[i, :length]
+            )
+            cost = self._pass_cost(length)
+            latency += cost.latency_s
+            energy += cost.energy_j
+            cycles += cost.cycles
+        return SoftmaxResult(
+            probabilities=probabilities.reshape(scores.shape),
+            cost=BackendCost(
+                latency_s=latency,
+                energy_j=energy,
+                area_mm2=self._pass_cost(rows.shape[1]).area_mm2,
+            ),
+            cycles=cycles,
+            backend=self.spec.name,
+        )
+
+
+class ApBatchBackend(_ApBackendBase):
+    """``ap-batch`` — the whole ``(rows, seq)`` tensor stacked in one AP.
+
+    One :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
+    call executes every vector word-parallel: the cycle count is that of a
+    single pass while energy scales with the number of stacked vectors
+    (more active rows) — the same accounting the cluster uses.
+    """
+
+    def _run(self, scores, lengths):
+        rows = self._rows_view(scores)
+        self._check_provisioned(rows.shape[1])
+        probabilities = self._mapping.execute_functional_batch(
+            rows, valid_lengths=lengths
+        )
+        cost = self._pass_cost(rows.shape[1])
+        return SoftmaxResult(
+            probabilities=probabilities.reshape(scores.shape),
+            cost=BackendCost(
+                latency_s=cost.latency_s,
+                energy_j=cost.energy_j * rows.shape[0],
+                area_mm2=cost.area_mm2,
+            ),
+            cycles=cost.cycles,
+            backend=self.spec.name,
+        )
+
+
+class ApClusterBackend(_BackendBase):
+    """``ap-cluster`` — the functional multi-AP cluster (one AP per head).
+
+    ``run`` accepts a ``(batch, heads, seq)`` tensor, a head-major
+    ``(heads * batch, seq)`` matrix (the LLM substrate's layout: row
+    ``h * batch + b`` holds batch row ``b`` of head ``h``) or a 1-D vector
+    (executed on head 0).  Cost follows the cluster's concurrency
+    accounting: latency = max over the concurrent heads, energy = sum.
+    """
+
+    def __init__(self, spec: BackendSpec) -> None:
+        if spec.num_heads is None:
+            raise ValueError(
+                "the 'ap-cluster' backend needs num_heads "
+                "(one per-head AP is built per attention head); pass "
+                "resolve_backend('ap-cluster', num_heads=...)"
+            )
+        super().__init__(spec)
+        self.engine = spec.engine or "vectorized"
+        self.cluster = ApCluster(
+            num_heads=spec.num_heads,
+            precision=spec.precision or BEST_PRECISION,
+            sequence_length=spec.sequence_length or 2048,
+            backend=self.engine,
+            **dict(spec.options),
+        )
+        self._cost_cache: Dict[int, Any] = {}
+
+    @classmethod
+    def from_cluster(
+        cls, cluster: ApCluster, engine: Optional[str] = None
+    ) -> "ApClusterBackend":
+        """Wrap an already-built :class:`~repro.mapping.cluster.ApCluster`
+        (used by the cluster's own ``as_backend()``/``softmax_fn()``)."""
+        backend = cls.__new__(cls)
+        _BackendBase.__init__(
+            backend,
+            BackendSpec(
+                name="ap-cluster",
+                precision=cluster.precision,
+                sequence_length=cluster.sequence_length,
+                num_heads=cluster.num_heads,
+                engine=engine or cluster.backend,
+            ),
+        )
+        backend.engine = backend.spec.engine
+        backend.cluster = cluster
+        backend._cost_cache = {}
+        return backend
+
+    def _cluster_cost(self, sequence_length: int):
+        """Per-length :class:`~repro.mapping.cluster.ClusterCost` at batch 1,
+        cached — the model calls run() once per layer with the same length,
+        and recosting rebuilds a SoftmAPMapping each time."""
+        if sequence_length not in self._cost_cache:
+            self._cost_cache[sequence_length] = self.cluster.cost(
+                sequence_length=sequence_length, batch=1
+            )
+        return self._cost_cache[sequence_length]
+
+    def _run(self, scores, lengths):
+        heads = self.cluster.num_heads
+        if scores.ndim == 1:
+            if scores.size > self.cluster.sequence_length:
+                raise ValueError(
+                    f"sequence length {scores.size} exceeds the provisioned "
+                    f"maximum {self.cluster.sequence_length}"
+                )
+            probabilities = self.cluster.head_mapping(0).execute_functional_batch(
+                scores[None, :], backend=self.engine, valid_lengths=lengths
+            )[0]
+            # Only head 0's AP executes a 1-D vector: charge one per-head
+            # pass, not the whole cluster's energy/area.
+            per_head = self._cluster_cost(scores.size).per_head
+            return SoftmaxResult(
+                probabilities=probabilities,
+                cost=BackendCost(
+                    latency_s=per_head.latency_s,
+                    energy_j=per_head.energy_j,
+                    area_mm2=per_head.area_mm2,
+                ),
+                cycles=per_head.cycles,
+                backend=self.spec.name,
+            )
+        elif scores.ndim == 2:
+            if scores.shape[0] % heads != 0:
+                raise ValueError(
+                    f"rows ({scores.shape[0]}) must be a multiple of the "
+                    f"cluster head count ({heads}); stack the score "
+                    f"matrices head-major"
+                )
+            batch = scores.shape[0] // heads
+            stacked = scores.reshape(heads, batch, -1).transpose(1, 0, 2)
+            per_head_lengths = (
+                None if lengths is None else lengths.reshape(heads, batch).T
+            )
+            probabilities = self.cluster.execute(
+                stacked, valid_lengths=per_head_lengths, backend=self.engine
+            )
+            probabilities = probabilities.transpose(1, 0, 2).reshape(scores.shape)
+        elif scores.ndim == 3:
+            batch = scores.shape[0]
+            per_head_lengths = (
+                None
+                if lengths is None
+                else lengths.reshape(batch, scores.shape[1])
+            )
+            probabilities = self.cluster.execute(
+                scores, valid_lengths=per_head_lengths, backend=self.engine
+            )
+        else:
+            raise ValueError(
+                "ap-cluster accepts a 1-D vector, a head-major (rows, seq) "
+                "matrix or a (batch, heads, seq) tensor"
+            )
+        cluster_cost = self._cluster_cost(scores.shape[-1])
+        return SoftmaxResult(
+            probabilities=probabilities,
+            cost=BackendCost(
+                latency_s=cluster_cost.latency_s,
+                # Stacking `batch` vectors per head scales the active rows
+                # (energy) but not the cycle count — see ApCluster.cost.
+                energy_j=cluster_cost.energy_j * batch,
+                area_mm2=cluster_cost.area_mm2,
+            ),
+            cycles=cluster_cost.cycles,
+            backend=self.spec.name,
+        )
+
+
+class GpuAnalyticalBackend(_BackendBase):
+    """``gpu-analytical`` — FP probabilities costed by the GPU kernel model.
+
+    The probabilities are the exact floating-point softmax (a GPU computes
+    FP softmax); the attached cost is the analytical memory-bound kernel
+    model's latency/energy for the decode-shaped score tensor, so the GPU
+    baseline flows through the same ``SoftmaxResult`` seam as the AP paths.
+    Options: ``gpu`` (name in :data:`repro.gpu.spec.GPUS` or a
+    :class:`~repro.gpu.spec.GpuSpec`, default A100) plus any
+    :class:`~repro.gpu.softmax_model.GpuSoftmaxModel` kwargs.
+    """
+
+    def __init__(self, spec: BackendSpec) -> None:
+        super().__init__(spec)
+        options = dict(spec.options)
+        gpu = options.pop("gpu", "A100")
+        if isinstance(gpu, str):
+            check_in_choices(gpu, tuple(GPUS), "gpu")
+            gpu = GPUS[gpu]
+        if not isinstance(gpu, GpuSpec):
+            raise TypeError("gpu option must be a GPU name or a GpuSpec")
+        self.model = GpuSoftmaxModel(gpu, **options)
+
+    def _run(self, scores, lengths):
+        rows = self._rows_view(scores)
+        probabilities = _masked_float_softmax(rows, lengths).reshape(scores.shape)
+        # The kernel cost depends on batch * heads (total score rows); keep
+        # that product exact even when the row count is not a multiple of
+        # the head count (fall back to heads = 1 rather than rounding).
+        heads = self.spec.num_heads or 1
+        if heads < 1 or rows.shape[0] % heads != 0:
+            heads = 1
+        kernel: KernelCost = self.model.decode_cost(
+            rows.shape[0] // heads, heads, rows.shape[1]
+        )
+        return SoftmaxResult(
+            probabilities=probabilities,
+            cost=BackendCost(latency_s=kernel.latency_s, energy_j=kernel.energy_j),
+            cycles=None,
+            backend=self.spec.name,
+        )
+
+
+_FACTORIES: Dict[str, Callable[[BackendSpec], _BackendBase]] = {
+    "float": FloatBackend,
+    "integer": IntegerBackend,
+    "ap": ApRowBackend,
+    "ap-batch": ApBatchBackend,
+    "ap-cluster": ApClusterBackend,
+    "gpu-analytical": GpuAnalyticalBackend,
+}
+
+
+def resolve_backend(
+    spec_or_name: Union[str, BackendSpec, SoftmaxBackend],
+    **overrides: Any,
+) -> SoftmaxBackend:
+    """The single front door from a backend name/spec to a backend instance.
+
+    Parameters
+    ----------
+    spec_or_name:
+        A canonical backend name (or legacy alias — see
+        :data:`BACKEND_ALIASES`), a :class:`BackendSpec`, or an already
+        constructed backend (returned as-is, overrides rejected).
+    overrides:
+        :class:`BackendSpec` fields (``precision``, ``sequence_length``,
+        ``num_heads``, ``engine``, ``options``) overriding the spec.
+
+    Raises
+    ------
+    UnknownBackendError
+        For an unknown name, with a "did you mean" suggestion.
+    """
+    if isinstance(spec_or_name, str):
+        spec = BackendSpec(name=spec_or_name, **overrides)
+    elif isinstance(spec_or_name, BackendSpec):
+        spec = replace(spec_or_name, **overrides) if overrides else spec_or_name
+    elif isinstance(spec_or_name, SoftmaxBackend):
+        # Anything satisfying the protocol passes through — including
+        # third-party backends, the module's stated extension point.
+        if overrides:
+            raise ValueError(
+                "cannot apply spec overrides to an already-built backend; "
+                "pass a name or BackendSpec instead"
+            )
+        return spec_or_name
+    else:
+        raise TypeError(
+            "resolve_backend takes a backend name, a BackendSpec or a "
+            f"backend instance, got {type(spec_or_name).__name__}"
+        )
+    return _FACTORIES[spec.name](spec)
+
+
+def resolve_model_backend(
+    spec_or_name: Union[str, BackendSpec, SoftmaxBackend],
+    num_heads: int,
+    sequence_length: int,
+) -> SoftmaxBackend:
+    """Resolve a backend with a model's shape filled in as defaults.
+
+    The LLM substrate knows its head count and context width; a bare name
+    (``"ap-cluster"``) or a spec that leaves those fields ``None`` gets
+    them from the model, while explicit spec values and already-built
+    backends pass through untouched.
+    """
+    if isinstance(spec_or_name, str):
+        return resolve_backend(
+            spec_or_name, num_heads=num_heads, sequence_length=sequence_length
+        )
+    if isinstance(spec_or_name, BackendSpec):
+        overrides: Dict[str, Any] = {}
+        if spec_or_name.num_heads is None:
+            overrides["num_heads"] = num_heads
+        if spec_or_name.sequence_length is None:
+            overrides["sequence_length"] = sequence_length
+        return resolve_backend(spec_or_name, **overrides)
+    return resolve_backend(spec_or_name)

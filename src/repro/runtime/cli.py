@@ -1,0 +1,188 @@
+"""``python -m repro`` / ``repro`` — the command-line front door.
+
+Commands
+--------
+``repro list``
+    Registered experiments (one per table/figure of the paper).
+``repro backends``
+    Softmax execution backends understood by ``resolve_backend``.
+``repro run <name> [--backend B] [--fast] [--set k=v ...] [--json PATH]``
+    Regenerate one artefact: prints the rendered table and optionally
+    writes the JSON round-trippable result (``Experiment.to_dict`` plus the
+    config it was produced with).
+
+Examples
+--------
+::
+
+    repro list
+    repro run table2 --backend vectorized --json table2.json
+    repro run table3_4 --backend ap-cluster --fast
+    repro backends
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.runtime.backend import (
+    UnknownBackendError,
+    backend_descriptions,
+    canonical_backend_name,
+)
+from repro.runtime.registry import (
+    UnknownExperimentError,
+    get_experiment,
+    iter_experiments,
+)
+from repro.utils.validation import check_in_choices
+
+__all__ = ["main", "build_parser"]
+
+#: Schema version of the ``--json`` artifact.
+ARTIFACT_SCHEMA = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the SoftmAP paper's tables and figures through the "
+            "unified runtime API."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered experiments")
+    sub.add_parser("backends", help="list the softmax execution backends")
+
+    run = sub.add_parser("run", help="run one experiment and render its table")
+    run.add_argument("experiment", help="registry name (see 'repro list')")
+    run.add_argument(
+        "--backend",
+        help="softmax execution backend for experiments that take one "
+        "(see 'repro backends')",
+    )
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the experiment's reduced-size smoke config",
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="config override (VALUE is parsed as a Python literal when "
+        "possible, else kept as a string); repeatable",
+    )
+    run.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the JSON artifact (schema, experiment, config, result)",
+    )
+    run.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the rendered table (useful with --json)",
+    )
+    return parser
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, Any]:
+    config: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"--set expects KEY=VALUE, got {pair!r}")
+        try:
+            config[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            config[key] = raw
+    return config
+
+
+def _cmd_list(out) -> int:
+    print(f"{'name':<16} {'artefact':<12} description", file=out)
+    for experiment in iter_experiments():
+        print(
+            f"{experiment.name:<16} {experiment.title:<12} "
+            f"{experiment.description}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_backends(out) -> int:
+    print(f"{'name':<16} description", file=out)
+    for name, description in backend_descriptions().items():
+        print(f"{name:<16} {description}", file=out)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    experiment = get_experiment(args.experiment)
+    config: Dict[str, Any] = dict(experiment.fast_config) if args.fast else {}
+    config.update(_parse_overrides(args.overrides))
+    if args.backend is not None:
+        key = experiment.backend_config_key
+        if key is None:
+            raise ValueError(
+                f"experiment {experiment.name!r} takes no --backend "
+                "(it has no softmax execution switch)"
+            )
+        if experiment.backend_choices is not None:
+            config[key] = check_in_choices(
+                args.backend, experiment.backend_choices, "--backend"
+            )
+        else:
+            config[key] = canonical_backend_name(args.backend)
+    result = experiment.run(config)
+    if not args.quiet:
+        print(experiment.render(result), file=out)
+    if args.json_path:
+        artifact = {
+            "schema": ARTIFACT_SCHEMA,
+            "experiment": experiment.name,
+            "title": experiment.title,
+            "config": {k: _jsonable(v) for k, v in config.items()},
+            "result": experiment.to_dict(result),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(artifact, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.json_path}", file=out)
+    return 0
+
+
+def _jsonable(value: Any) -> Any:
+    """Config values come from the CLI or fast_config; keep them JSON-safe."""
+    if isinstance(value, tuple):
+        return list(value)
+    return value
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    out = sys.stdout
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "backends":
+            return _cmd_backends(out)
+        return _cmd_run(args, out)
+    except (UnknownExperimentError, UnknownBackendError, ValueError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

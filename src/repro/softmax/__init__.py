@@ -17,6 +17,13 @@ Modules
     saturating sum accumulator and integer normalisation.
 :mod:`repro.softmax.metrics`
     Error metrics between the approximated and reference softmax.
+
+Both the floating-point reference and the integer pipeline are reachable
+through the unified runtime API (:mod:`repro.runtime`) as the ``"float"``
+and ``"integer"`` softmax backends;
+``resolve_backend("integer", precision=...)`` wraps
+:class:`~repro.softmax.integer_softmax.IntegerSoftmax` behind the uniform
+``run(scores) -> SoftmaxResult`` contract.
 """
 
 from repro.softmax.reference import softmax, log_softmax, float_iexp_softmax

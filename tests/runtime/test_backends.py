@@ -1,0 +1,338 @@
+"""Tests for the unified softmax-backend API (repro.runtime.backend)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.softmax_model import GpuSoftmaxModel
+from repro.gpu.spec import A100, RTX3090
+from repro.llm.perplexity import (
+    ap_cluster_softmax_fn,
+    evaluate_perplexity,
+    integer_softmax_fn,
+)
+from repro.mapping.cluster import ApCluster
+from repro.mapping.softmap import SoftmAPMapping
+from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.runtime.backend import (
+    BACKEND_NAMES,
+    BackendSpec,
+    SoftmaxBackend,
+    UnknownBackendError,
+    canonical_backend_name,
+    resolve_backend,
+)
+from repro.softmax.integer_softmax import IntegerSoftmax
+from repro.softmax.reference import softmax
+
+
+@pytest.fixture
+def scores(rng):
+    return rng.normal(0.0, 2.0, size=(6, 16))
+
+
+@pytest.fixture
+def lengths():
+    return np.array([1, 5, 16, 3, 2, 8])
+
+
+class TestResolution:
+    @pytest.mark.parametrize("name", BACKEND_NAMES)
+    def test_every_name_resolves(self, name):
+        backend = resolve_backend(name, num_heads=2, sequence_length=16)
+        assert isinstance(backend, SoftmaxBackend)
+        assert backend.spec.name == name
+
+    def test_aliases_resolve_to_canonical_names(self):
+        assert canonical_backend_name("software") == "integer"
+        assert canonical_backend_name("software-batched") == "integer"
+        assert canonical_backend_name("fp") == "float"
+        assert canonical_backend_name("gpu") == "gpu-analytical"
+
+    def test_unknown_name_suggests_closest(self):
+        with pytest.raises(UnknownBackendError, match="did you mean 'ap-cluster'"):
+            resolve_backend("ap-clstr")
+        with pytest.raises(UnknownBackendError, match="did you mean 'integer'"):
+            canonical_backend_name("intger")
+
+    def test_spec_round_trip_and_overrides(self):
+        spec = BackendSpec(name="software", precision=PrecisionConfig(8, 0, 16))
+        assert spec.name == "integer"  # aliases canonicalise eagerly
+        backend = resolve_backend(spec)
+        assert backend.spec is spec
+        overridden = resolve_backend(spec, precision=PrecisionConfig(4, 0, 16))
+        assert overridden.spec.precision.input_bits == 4
+
+    def test_instances_pass_through(self):
+        backend = resolve_backend("float")
+        assert resolve_backend(backend) is backend
+        with pytest.raises(ValueError):
+            resolve_backend(backend, sequence_length=32)
+
+    def test_third_party_protocol_backends_pass_through(self, scores):
+        """Anything satisfying the SoftmaxBackend protocol must resolve —
+        the protocol is the stated extension point for new backends."""
+        from repro.runtime.backend import BackendTelemetry, SoftmaxResult
+
+        class ConstantBackend:
+            def __init__(self):
+                self.spec = BackendSpec(name="float")
+                self.telemetry = BackendTelemetry()
+
+            def run(self, scores, valid_lengths=None):
+                return SoftmaxResult(probabilities=np.asarray(scores) * 0.0)
+
+            def softmax_fn(self):
+                return lambda s: np.asarray(s) * 0.0
+
+        backend = ConstantBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_bad_engine_and_cluster_without_heads(self):
+        with pytest.raises(ValueError):
+            resolve_backend("ap-batch", engine="cuda")
+        with pytest.raises(ValueError, match="num_heads"):
+            resolve_backend("ap-cluster", sequence_length=16)
+
+
+class TestProbabilityParity:
+    """Every backend family must agree bit for bit with its legacy path."""
+
+    def test_float_matches_reference_softmax(self, scores):
+        result = resolve_backend("float").run(scores)
+        assert np.array_equal(result.probabilities, softmax(scores))
+        assert result.cost is None and result.cycles is None
+
+    def test_integer_matches_software_pipeline(self, scores):
+        backend = resolve_backend("integer", precision=BEST_PRECISION)
+        expected = IntegerSoftmax(BEST_PRECISION)(scores)
+        assert np.array_equal(backend.run(scores).probabilities, expected)
+
+    def test_integer_masked_matches_per_row_prefixes(self, scores, lengths):
+        backend = resolve_backend("integer")
+        out = backend.run(scores, valid_lengths=lengths).probabilities
+        software = IntegerSoftmax(BEST_PRECISION)
+        for i, length in enumerate(lengths):
+            assert np.array_equal(out[i, :length], software(scores[i, :length]))
+            assert np.all(out[i, length:] == 0.0)
+
+    def test_ap_batch_matches_mapping_and_raw_barrett(self, scores):
+        backend = resolve_backend("ap-batch", sequence_length=16)
+        out = backend.run(scores).probabilities
+        mapping = SoftmAPMapping(
+            BEST_PRECISION, sequence_length=16, backend="vectorized"
+        )
+        assert np.array_equal(out, mapping.execute_functional_batch(scores))
+        raw = IntegerSoftmax(BEST_PRECISION, barrett_correction=False)(scores)
+        assert np.array_equal(out, raw)
+
+    def test_ap_row_matches_ap_batch(self, scores, lengths):
+        row = resolve_backend("ap", sequence_length=16)
+        batch = resolve_backend("ap-batch", sequence_length=16)
+        assert np.array_equal(
+            row.run(scores).probabilities, batch.run(scores).probabilities
+        )
+        assert np.array_equal(
+            row.run(scores, valid_lengths=lengths).probabilities,
+            batch.run(scores, valid_lengths=lengths).probabilities,
+        )
+
+    def test_ap_cluster_matches_legacy_adapter(self, rng):
+        heads, batch, seq = 3, 4, 12
+        tensor = rng.normal(0.0, 2.0, size=(batch, heads, seq))
+        head_major = tensor.transpose(1, 0, 2).reshape(heads * batch, seq)
+        cluster = ApCluster(num_heads=heads, sequence_length=seq)
+        legacy = cluster.softmax_fn()(head_major)
+        backend = resolve_backend("ap-cluster", num_heads=heads, sequence_length=seq)
+        assert np.array_equal(backend.run(head_major).probabilities, legacy)
+        # The 3-D entry point agrees with the cluster's native execute().
+        assert np.array_equal(
+            backend.run(tensor).probabilities, cluster.execute(tensor)
+        )
+
+    def test_gpu_analytical_probabilities_are_float(self, scores):
+        backend = resolve_backend("gpu-analytical", num_heads=2)
+        result = backend.run(scores)
+        assert np.array_equal(result.probabilities, softmax(scores))
+
+    def test_one_dimensional_vectors(self, rng):
+        vector = rng.normal(0.0, 2.0, size=11)
+        raw = IntegerSoftmax(BEST_PRECISION, barrett_correction=False)(vector)
+        for name in ("ap", "ap-batch"):
+            out = resolve_backend(name, sequence_length=11).run(vector)
+            assert out.probabilities.shape == vector.shape
+            assert np.array_equal(out.probabilities, raw)
+        cluster = resolve_backend("ap-cluster", num_heads=2, sequence_length=11)
+        assert np.array_equal(cluster.run(vector).probabilities, raw)
+
+
+class TestCostTelemetry:
+    def test_ap_costs_attached(self, scores):
+        backend = resolve_backend("ap-batch", sequence_length=16)
+        result = backend.run(scores)
+        assert result.cost is not None and result.cycles > 0
+        assert result.cost.latency_s > 0 and result.cost.energy_j > 0
+        assert result.cost.edp == pytest.approx(
+            result.cost.latency_s * result.cost.energy_j
+        )
+
+    def test_ap_batch_energy_scales_with_rows_not_cycles(self, scores):
+        backend = resolve_backend("ap-batch", sequence_length=16)
+        one = backend.run(scores[:1])
+        six = backend.run(scores)
+        assert six.cycles == one.cycles
+        assert six.cost.energy_j == pytest.approx(6 * one.cost.energy_j)
+
+    def test_cluster_cost_uses_concurrency_accounting(self, rng):
+        heads, batch, seq = 4, 2, 16
+        tensor = rng.normal(0.0, 2.0, size=(batch, heads, seq))
+        backend = resolve_backend("ap-cluster", num_heads=heads, sequence_length=seq)
+        result = backend.run(tensor)
+        expected = backend.cluster.cost(sequence_length=seq, batch=batch)
+        assert result.cost.latency_s == pytest.approx(expected.latency_s)
+        assert result.cost.energy_j == pytest.approx(expected.energy_j)
+
+    def test_cluster_one_dimensional_charges_one_head_only(self, rng):
+        """A 1-D vector executes on head 0 alone; its cost must be one
+        per-head pass, independent of the cluster width."""
+        vector = rng.normal(0.0, 2.0, size=16)
+        wide = resolve_backend("ap-cluster", num_heads=4, sequence_length=16)
+        narrow = resolve_backend("ap-cluster", num_heads=1, sequence_length=16)
+        wide_result = wide.run(vector)
+        narrow_result = narrow.run(vector)
+        assert wide_result.cost.energy_j == pytest.approx(
+            narrow_result.cost.energy_j
+        )
+        assert wide_result.cost.area_mm2 == pytest.approx(
+            narrow_result.cost.area_mm2
+        )
+        assert wide_result.cycles == narrow_result.cycles
+
+    def test_gpu_cost_matches_kernel_model(self, scores):
+        backend = resolve_backend(
+            "gpu-analytical", num_heads=2, options={"gpu": "RTX3090"}
+        )
+        result = backend.run(scores)
+        kernel = GpuSoftmaxModel(RTX3090).decode_cost(3, 2, 16)
+        assert result.cost.latency_s == pytest.approx(kernel.latency_s)
+        assert result.cost.energy_j == pytest.approx(kernel.energy_j)
+
+    def test_gpu_cost_exact_for_indivisible_row_counts(self, rng):
+        """Rows not divisible by num_heads must still be costed exactly
+        (no flooring): a (6, seq) tensor moves 6 rows, not 4."""
+        backend = resolve_backend("gpu-analytical", num_heads=4)
+        six = backend.run(rng.normal(0.0, 2.0, size=(6, 16)))
+        kernel = GpuSoftmaxModel(A100).decode_cost(6, 1, 16)
+        assert six.cost.energy_j == pytest.approx(kernel.energy_j)
+        four = backend.run(rng.normal(0.0, 2.0, size=(4, 16)))
+        assert six.cost.energy_j > four.cost.energy_j
+
+    def test_telemetry_accumulates_and_resets(self, scores):
+        backend = resolve_backend("ap-batch", sequence_length=16)
+        backend.run(scores)
+        backend.run(scores)
+        assert backend.telemetry.calls == 2
+        assert backend.telemetry.rows == 12
+        assert backend.telemetry.energy_j > 0
+        backend.telemetry.reset()
+        assert backend.telemetry.calls == 0 and backend.telemetry.energy_j == 0.0
+
+    def test_cluster_shim_exposes_runtime_telemetry(self, rng):
+        cluster = ApCluster(num_heads=2, sequence_length=8)
+        fn = cluster.softmax_fn()
+        fn(rng.normal(0.0, 2.0, size=(4, 8)))
+        telemetry = fn.runtime_backend().telemetry
+        assert telemetry.calls == 1 and telemetry.energy_j > 0
+
+
+class TestLegacyShims:
+    def test_integer_softmax_fn_unbatched_has_no_batch_flag(self, rng):
+        fn = integer_softmax_fn(PrecisionConfig(8, 0, 16))
+        assert not getattr(fn, "supports_batch", False)
+        vector = rng.normal(0.0, 2.0, size=9)
+        assert np.array_equal(fn(vector), IntegerSoftmax(PrecisionConfig(8, 0, 16))(vector))
+
+    def test_integer_softmax_fn_batched_matches_unbatched(self, scores):
+        config = PrecisionConfig(6, 0, 16)
+        batched = integer_softmax_fn(config, batched=True)
+        assert batched.supports_batch
+        unbatched = integer_softmax_fn(config)
+        rows = np.stack([unbatched(row) for row in scores])
+        assert np.array_equal(batched(scores), rows)
+
+    def test_ap_cluster_softmax_fn_matches_backend(self, rng):
+        heads, t = 2, 6
+        scores = rng.normal(0.0, 2.0, size=(heads * t, t))
+        config = PrecisionConfig(6, 0, 16)
+        legacy = ap_cluster_softmax_fn(heads, config, sequence_length=t)
+        backend = resolve_backend(
+            "ap-cluster", num_heads=heads, precision=config, sequence_length=t
+        )
+        assert np.array_equal(legacy(scores), backend.run(scores).probabilities)
+
+
+class TestModelIntegration:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        from repro.experiments.table3_4_perplexity import train_reference_model
+
+        return train_reference_model(training_steps=40)
+
+    def test_forward_backend_matches_softmax_fn(self, trained):
+        model, corpus = trained
+        tokens = corpus.validation_tokens[:24]
+        config = PrecisionConfig(8, 0, 16)
+        via_fn = model.forward(
+            tokens, softmax_fn=integer_softmax_fn(config, batched=True)
+        ).numpy()
+        via_backend = model.forward(
+            tokens, backend=BackendSpec(name="integer", precision=config)
+        ).numpy()
+        assert np.array_equal(via_fn, via_backend)
+        with pytest.raises(ValueError):
+            model.forward(tokens, softmax_fn=integer_softmax_fn(config), backend="integer")
+
+    def test_perplexity_ap_cluster_backend_parity_pinned(self, trained):
+        """Acceptance pin: the 'ap-cluster' backend reached through the new
+        runtime API must be bit-identical (identical perplexity float) to
+        the legacy ap_cluster_softmax_fn path for one perplexity point."""
+        model, corpus = trained
+        tokens = corpus.validation_tokens[:97]
+        config = PrecisionConfig(8, 0, 16)
+        legacy = evaluate_perplexity(
+            model,
+            tokens,
+            segment_length=48,
+            softmax_fn=ap_cluster_softmax_fn(
+                num_heads=model.config.num_heads,
+                precision=config,
+                sequence_length=model.config.max_context,
+            ),
+        )
+        unified = evaluate_perplexity(
+            model,
+            tokens,
+            segment_length=48,
+            backend=BackendSpec(name="ap-cluster", precision=config),
+        )
+        assert unified == legacy  # exact float equality, not approx
+
+    def test_perplexity_sweep_rejects_precision_ignoring_backends(self):
+        """The Tables III/IV sweep varies PrecisionConfig per row; backends
+        that ignore it (float, gpu-analytical) would silently report the FP
+        baseline everywhere and must be rejected before training starts."""
+        from repro.experiments.table3_4_perplexity import run_perplexity_sweep
+
+        for name in ("float", "fp", "gpu-analytical"):
+            with pytest.raises(ValueError, match="ignores the per-point"):
+                run_perplexity_sweep(softmax_backend=name)
+
+    def test_perplexity_rejects_both_selectors(self, trained):
+        model, corpus = trained
+        with pytest.raises(ValueError):
+            evaluate_perplexity(
+                model,
+                corpus.validation_tokens[:10],
+                segment_length=8,
+                softmax_fn=integer_softmax_fn(BEST_PRECISION),
+                backend="integer",
+            )

@@ -1,0 +1,112 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _run_module(*args):
+    """Run ``python -m repro ...`` exactly as a user would."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestModuleInvocation:
+    def test_list_names_every_artefact(self):
+        completed = _run_module("list")
+        assert completed.returncode == 0, completed.stderr
+        for name in ("table1", "table3_4", "figs6_8", "cluster-parity"):
+            assert name in completed.stdout
+
+    def test_run_table1_writes_parseable_json(self, tmp_path):
+        artifact = tmp_path / "table1.json"
+        completed = _run_module("run", "table1", "--json", str(artifact))
+        assert completed.returncode == 0, completed.stderr
+        assert "Table I" in completed.stdout
+        payload = json.loads(artifact.read_text())
+        assert payload["experiment"] == "table1"
+        assert payload["schema"] == 1
+        assert len(payload["result"]["rows"]) == 9
+
+
+class TestPackageImport:
+    def test_import_repro_stays_light(self):
+        """`import repro` must not drag the runtime/mapping/gpu stack in;
+        the runtime exports resolve lazily (PEP 562 module __getattr__)."""
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "import sys, repro;"
+                "assert 'repro.runtime' not in sys.modules;"
+                "assert 'repro.mapping' not in sys.modules;"
+                "assert 'repro.gpu' not in sys.modules;"
+                "repro.resolve_backend;"  # lazy export still reachable
+                "assert 'repro.runtime' in sys.modules",
+            ],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+
+
+class TestInProcess:
+    def test_backends_lists_every_backend(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("float", "integer", "ap", "ap-batch", "ap-cluster",
+                     "gpu-analytical"):
+            assert name in out
+
+    def test_run_with_backend_and_set_overrides(self, capsys, tmp_path):
+        artifact = tmp_path / "table2.json"
+        code = main([
+            "run", "table2", "--backend", "vectorized",
+            "--set", "precisions=(6,)", "--json", str(artifact),
+        ])
+        assert code == 0
+        assert "Table II" in capsys.readouterr().out
+        payload = json.loads(artifact.read_text())
+        assert payload["config"]["backend"] == "vectorized"
+        assert payload["config"]["precisions"] == [6]
+        assert all(row["precision"] == 6 for row in payload["result"]["rows"])
+
+    def test_fast_config_and_quiet(self, capsys):
+        assert main(["run", "fidelity", "--fast", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_experiment_exits_2_with_suggestion(self, capsys):
+        assert main(["run", "tabel1"]) == 2
+        assert "did you mean 'table1'" in capsys.readouterr().err
+
+    def test_unknown_backend_exits_2_with_suggestion(self, capsys):
+        assert main(["run", "table3_4", "--backend", "ap-clstr"]) == 2
+        assert "did you mean 'ap-cluster'" in capsys.readouterr().err
+
+    def test_backend_on_backendless_experiment_exits_2(self, capsys):
+        assert main(["run", "table1", "--backend", "integer"]) == 2
+        assert "takes no --backend" in capsys.readouterr().err
+
+    def test_malformed_set_exits_2(self, capsys):
+        assert main(["run", "table1", "--set", "oops"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
