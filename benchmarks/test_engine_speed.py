@@ -1,13 +1,15 @@
-"""Engine speed: vectorized bit-plane backend vs bit-serial reference.
+"""Engine speed: fused vectorized execution vs bit-serial reference.
 
 The acceptance workload is a 64-row batch of 256-element integer softmax
-vectors executed end to end on the functional AP (quantize, Barrett range
-reduction, polynomial, variable shift, segmented reduction, restoring
-division).  Both backends run the *same* batched program on the same
-16384-row CAM; the only difference is how each compare/write sweep is
-executed.  Results must be bit-identical and the vectorized backend must be
-at least 5x faster (in practice it is >10x for the batched program and
-far more against the seed's only option, a per-vector Python loop).
+vectors executed end to end through the compiled plan (quantize, Barrett
+range reduction, polynomial, variable shift, segmented reduction, restoring
+division).  Both engines run the *same* lowered program over the same
+16384-word row space: ``"reference"`` interprets it as bit-serial
+compare/write sweeps on the functional CAM, ``"vectorized"`` executes the
+fused packed-word pass.  Results must be bit-identical and the vectorized
+engine must be at least 5x faster (in practice it is orders of magnitude
+faster, and far more against the seed's only option, a per-vector Python
+loop).
 """
 
 import time

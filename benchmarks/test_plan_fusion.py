@@ -1,0 +1,65 @@
+"""Fused-vs-loop benchmark: the compiled-plan layer's pinned speedup.
+
+The acceptance workload is the Tables III/IV cluster shape — a
+``(batch, heads, seq)`` attention-score tensor executed on the
+:class:`~repro.mapping.cluster.ApCluster`.  The fused compiled-plan pass
+(one wide head-major row space, fields kept packed end to end) must be
+**bit-identical** to the PR 2 per-head loop (one per-operation engine
+execution per head) and at least **3x faster** wall-clock; in practice the
+gap is an order of magnitude or more.
+
+This module is the CI ``benchmark-smoke`` target: it runs without
+``--runslow`` and, when ``REPRO_PERF_DIR`` is set, writes the measured
+timings as a JSON artifact so the perf trajectory can be tracked across
+commits.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.runtime import get_experiment
+
+#: Pinned wall-clock floor of the fused pass over the PR 2 per-head loop.
+FUSED_SPEEDUP_FLOOR = 3.0
+
+
+def _emit_perf_artifact(report) -> None:
+    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "fused-vs-loop",
+        "workload": {
+            "batch": report.batch,
+            "heads": report.heads,
+            "sequence_length": report.sequence_length,
+        },
+        "bit_identical": report.bit_identical,
+        "fused_seconds": report.cluster_seconds,
+        "per_head_loop_seconds": report.per_head_loop_seconds,
+        "row_by_row_seconds": report.row_by_row_seconds,
+        "fused_speedup": report.fused_speedup,
+        "row_by_row_speedup": report.speedup,
+        "pinned_floor": FUSED_SPEEDUP_FLOOR,
+    }
+    with open(path / "fused_speedup.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_fused_cluster_pass_beats_per_head_loop(benchmark):
+    """Pin: fused >= 3x over the PR 2 per-head loop, bit-identical."""
+    experiment = get_experiment("cluster-parity")
+    report = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+    print()
+    print(experiment.render(report))
+    _emit_perf_artifact(report)
+    assert report.bit_identical, "fused pass diverged from the loop baselines"
+    assert report.fused_speedup >= FUSED_SPEEDUP_FLOOR, (
+        f"fused pass only {report.fused_speedup:.1f}x faster than the "
+        f"per-head loop (floor {FUSED_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -14,7 +14,9 @@ for Integer-Only Softmax on Associative Processors* (DATE 2025), including:
   :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
   or :meth:`~repro.softmax.integer_softmax.IntegerSoftmax.forward_on_ap`;
 * the SoftmAP dataflow mapping and hardware characterization
-  (:mod:`repro.mapping`);
+  (:mod:`repro.mapping`), executed through compiled plans
+  (:mod:`repro.mapping.plan`): the dataflow is lowered once per shape and
+  whole ``(batch, heads, seq)`` workloads run as fused wide passes;
 * analytical GPU baselines for A100 / RTX3090 (:mod:`repro.gpu`);
 * a numpy LLM substrate used for the perplexity sensitivity study
   (:mod:`repro.nn`, :mod:`repro.llm`);

@@ -61,6 +61,7 @@ loads, field clears) are charged exactly.
 
 from __future__ import annotations
 
+import difflib
 import itertools
 from typing import Dict, Optional, Sequence, Tuple
 
@@ -69,7 +70,53 @@ import numpy as np
 from repro.ap.fields import Field
 from repro.ap.lut import Lut
 
-__all__ = ["BitPlaneEngine"]
+__all__ = [
+    "BitPlaneEngine",
+    "ENGINE_NAMES",
+    "UnknownEngineError",
+    "canonical_engine_name",
+]
+
+#: Functional AP execution engines: the bit-serial LUT-sweep ground truth
+#: and this module's packed-word fast path.  Every ``engine=``/``backend=``
+#: knob across the AP, mapping and runtime layers accepts exactly these.
+ENGINE_NAMES: Tuple[str, ...] = ("reference", "vectorized")
+
+
+class UnknownEngineError(ValueError):
+    """An unknown functional-engine name, with a "did you mean" suggestion.
+
+    The same eager-validation pattern as
+    :class:`repro.runtime.backend.UnknownBackendError`: engine strings are
+    checked where they enter (plan/backend/processor construction), so a
+    typo fails immediately with a suggestion instead of deep inside an
+    execution pass.
+    """
+
+    def __init__(self, name: str) -> None:
+        close = difflib.get_close_matches(str(name), ENGINE_NAMES, n=1, cutoff=0.5)
+        hint = f" — did you mean {close[0]!r}?" if close else ""
+        super().__init__(
+            f"unknown functional AP engine {name!r}{hint} "
+            f"(valid engines: {', '.join(ENGINE_NAMES)})"
+        )
+        self.name = name
+        self.suggestion = close[0] if close else None
+
+
+def canonical_engine_name(name: str) -> str:
+    """Validate a functional-engine name eagerly.
+
+    This is the single authority for ``"reference"``/``"vectorized"``
+    strings; construction-time callers (mappings, plans, backends, the AP
+    itself) resolve through here so an invalid name raises
+    :class:`UnknownEngineError` before any hardware state is built.
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"engine name must be a str, got {type(name).__name__}")
+    if name not in ENGINE_NAMES:
+        raise UnknownEngineError(name)
+    return name
 
 #: Widest field the packed-word representation can hold.  One bit of headroom
 #: is kept below 64 so shifted sums/carries never wrap the host word.
@@ -557,3 +604,53 @@ class BitPlaneEngine:
         self.store(remainder, rem)
         self._cells[:, self.ap._flag_column] = borrow
         self._cells[:, self.ap._state_column] = borrow
+
+    # ------------------------------------------------------------------ #
+    # Wide segmented reduction + broadcast                                 #
+    # ------------------------------------------------------------------ #
+    def supports_segmented_reduce(self, field: Field, dest: Field) -> bool:
+        """Whether the fused segmented reduce+broadcast can run packed."""
+        return self._fits(field, dest) and self._disjoint(field, dest)
+
+    def reduce_and_broadcast_segments(self, dest: Field, segment_length: int) -> int:
+        """Fused per-segment reduction + broadcast over ``dest``.
+
+        ``dest`` must already hold a copy of the reduced operand (the caller
+        issues the copy, exactly as the reference tree does).  Instead of
+        replaying every binary-tree level as a pairwise row addition over
+        the CAM bit matrix, the packed words of ``dest`` are summed per
+        segment in one numpy reduction and each segment's total is written
+        back to the whole segment — the state the reference leaves after
+        its tree + broadcast, because the broadcast overwrites every row of
+        ``dest`` with its segment head.  The cycle counters are charged
+        level by level, identical to the pairwise-tree accounting, so both
+        backends stay cycle-exact.  Returns the number of tree levels.
+        """
+        rows = self._rows
+        values = self.pack(dest)
+        segments = rows // segment_length
+        totals = values.reshape(segments, segment_length).sum(
+            axis=1, dtype=np.uint64
+        ) & _mask(dest.bits)
+        stride = 1
+        level = 0
+        while stride < segment_length:
+            pairs_per_block = len(range(stride, segment_length, 2 * stride))
+            if pairs_per_block:
+                targets = segments * pairs_per_block
+                self._stats.compare_cycles += dest.bits
+                self._stats.write_cycles += dest.bits
+                self._stats.compared_bits += dest.bits * 2 * targets
+                self._stats.written_bits += dest.bits * targets
+                self._stats.row_writes += targets
+            stride *= 2
+            level += 1
+        self.store(dest, np.repeat(totals, segment_length))
+        # Broadcast accounting: two tagged compare/write pairs per column,
+        # as charged by AssociativeProcessor2D.broadcast_segments.
+        self._stats.compare_cycles += 2 * dest.bits
+        self._stats.compared_bits += 2 * dest.bits * rows
+        self._stats.write_cycles += 2 * dest.bits
+        self._stats.written_bits += dest.bits * rows
+        self._stats.row_writes += dest.bits * rows
+        return level

@@ -26,7 +26,7 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ap.cam import CamArray, CamStats
-from repro.ap.engine import BitPlaneEngine
+from repro.ap.engine import ENGINE_NAMES, BitPlaneEngine, canonical_engine_name
 from repro.ap.fields import Field, FieldAllocator
 from repro.ap.lut import (
     ADD_LUT,
@@ -39,7 +39,6 @@ from repro.ap.lut import (
     XOR_LUT,
 )
 from repro.utils.validation import (
-    check_in_choices,
     check_non_negative_int,
     check_positive_int,
 )
@@ -76,13 +75,14 @@ class AssociativeProcessor:
     #: Name of the flag service column (used by division).
     FLAG = "__flag__"
 
-    #: Execution backends accepted by the constructor.
-    BACKENDS = ("reference", "vectorized")
+    #: Execution backends accepted by the constructor (the functional
+    #: engines of :data:`repro.ap.engine.ENGINE_NAMES`).
+    BACKENDS = ENGINE_NAMES
 
     def __init__(self, rows: int, columns: int, backend: str = "reference") -> None:
         check_positive_int(rows, "rows")
         check_positive_int(columns, "columns")
-        self.backend = check_in_choices(backend, self.BACKENDS, "backend")
+        self.backend = canonical_engine_name(backend)
         service_columns = 3
         self.cam = CamArray(rows, columns + service_columns)
         self.allocator = FieldAllocator(columns + service_columns)

@@ -83,23 +83,7 @@ class AssociativeProcessor2D(AssociativeProcessor):
         all blocks' row pairs of one tree level are added in the same 2D AP
         row operation.  Returns the number of tree levels.
         """
-        check_positive_int(segment_length, "segment_length")
-        if self.rows % segment_length != 0:
-            raise ValueError(
-                f"rows ({self.rows}) must be a multiple of the segment "
-                f"length ({segment_length})"
-            )
-        levels = (
-            max(1, int(np.ceil(np.log2(segment_length))))
-            if segment_length > 1
-            else 0
-        )
-        if dest.bits < field.bits + levels:
-            raise ValueError(
-                f"destination field {dest.name!r} needs at least "
-                f"{field.bits + levels} bits for a {segment_length}-row "
-                f"segmented reduction"
-            )
+        self._check_segments(field, dest, segment_length)
         self.copy(field, dest)
         block_starts = np.arange(0, self.rows, segment_length)
         stride = 1
@@ -122,12 +106,7 @@ class AssociativeProcessor2D(AssociativeProcessor):
         the rows whose block value is 0), which is what the cycle accounting
         charges.
         """
-        check_positive_int(segment_length, "segment_length")
-        if self.rows % segment_length != 0:
-            raise ValueError(
-                f"rows ({self.rows}) must be a multiple of the segment "
-                f"length ({segment_length})"
-            )
+        self._check_segment_rows(segment_length)
         bits = self.cam.read_bits(field.columns)
         heads = np.repeat(np.arange(0, self.rows, segment_length), segment_length)
         self.cam.load_bits(field.columns, bits[heads])
@@ -144,10 +123,48 @@ class AssociativeProcessor2D(AssociativeProcessor):
     ) -> int:
         """Segmented reduction of ``field`` into ``dest`` followed by a
         per-block broadcast of each block's total — the batched fusion of
-        steps 14 and 15 of the dataflow."""
+        steps 14 and 15 of the dataflow.
+
+        On the vectorized backend the two halves execute as one packed-word
+        pass (:meth:`~repro.ap.engine.BitPlaneEngine.reduce_and_broadcast_segments`):
+        the broadcast overwrites every row of ``dest`` with its block head,
+        so computing each block's total directly is state- and cycle-exact
+        while skipping the per-level bit-matrix traffic of the tree — the
+        fast path wide fused executions rely on.
+        """
+        self._check_segments(field, dest, segment_length)
+        if self._engine is not None and self._engine.supports_segmented_reduce(
+            field, dest
+        ):
+            self.copy(field, dest)
+            return self._engine.reduce_and_broadcast_segments(dest, segment_length)
         levels = self.reduce_sum_segmented(field, dest, segment_length)
         self.broadcast_segments(dest, segment_length)
         return levels
+
+    def _check_segment_rows(self, segment_length: int) -> None:
+        """Validate that segments tile the CAM rows exactly."""
+        check_positive_int(segment_length, "segment_length")
+        if self.rows % segment_length != 0:
+            raise ValueError(
+                f"rows ({self.rows}) must be a multiple of the segment "
+                f"length ({segment_length})"
+            )
+
+    def _check_segments(self, field: Field, dest: Field, segment_length: int) -> None:
+        """Shared validation of the segmented reduce/broadcast geometry."""
+        self._check_segment_rows(segment_length)
+        levels = (
+            max(1, int(np.ceil(np.log2(segment_length))))
+            if segment_length > 1
+            else 0
+        )
+        if dest.bits < field.bits + levels:
+            raise ValueError(
+                f"destination field {dest.name!r} needs at least "
+                f"{field.bits + levels} bits for a {segment_length}-row "
+                f"segmented reduction"
+            )
 
     # ------------------------------------------------------------------ #
     # Internals                                                            #

@@ -15,13 +15,14 @@ reproduction substitutes the tiny trained numpy model and synthetic corpus
   ``N`` saturation effect at the scale the paper studies.
 
 Since PR 2 the perplexity sweep can execute the attention softmax *on the
-functional AP cluster* (``softmax_backend="ap-cluster"``): one simulated
-per-head AP per attention head, every probability produced by CAM
-compare/write semantics through
-:class:`~repro.mapping.cluster.ApCluster`.  :func:`run_ap_cluster_equivalence`
-verifies that this path is bit-identical to the pure-software integer
-pipeline and measures its speedup over the pre-cluster row-by-row
-replacement path.
+functional AP cluster* (``softmax_backend="ap-cluster"``), and since the
+compiled-plan layer landed that path runs **fused**: every layer's
+head-major score matrix executes as one wide compiled-plan pass through
+:class:`~repro.mapping.cluster.ApCluster` instead of a per-head Python
+loop.  :func:`run_ap_cluster_equivalence` verifies that the fused path is
+bit-identical to the pure-software integer pipeline, to the PR 2 per-head
+loop and to the pre-cluster row-by-row replacement path, and pins its
+speedup over both loops.
 """
 
 from __future__ import annotations
@@ -38,7 +39,6 @@ from repro.llm.model import SoftmaxFn, TinyLlamaModel
 from repro.llm.perplexity import evaluate_perplexity
 from repro.llm.trainer import Trainer
 from repro.mapping.cluster import ApCluster
-from repro.mapping.softmap import SoftmAPMapping
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
 from repro.runtime.backend import canonical_backend_name, resolve_backend
 from repro.runtime.registry import Experiment, register
@@ -217,13 +217,16 @@ def run_perplexity_sweep(
 
 @dataclass(frozen=True)
 class ClusterEquivalenceReport:
-    """Bit-exactness and speed of the functional AP cluster path.
+    """Bit-exactness and speed of the fused AP cluster path.
 
-    ``bit_identical`` holds only if the cluster probabilities equal *both*
+    ``bit_identical`` holds only if the fused cluster probabilities equal
     the pure-software integer pipeline (raw Barrett quotient, i.e.
-    ``barrett_correction=False``) and the pre-cluster row-by-row replacement
-    path (one functional AP execution per score vector).  ``speedup`` is
-    row-by-row seconds over cluster seconds for the same score tensor.
+    ``barrett_correction=False``), the PR 2 per-head loop (one
+    per-operation AP-engine execution per head) *and* the pre-cluster
+    row-by-row replacement path (one per-vector AP execution).
+    ``fused_speedup`` is per-head-loop seconds over fused seconds — the
+    pinned win of the compiled-plan layer; ``speedup`` is row-by-row
+    seconds over fused seconds (the historical pin).
     """
 
     batch: int
@@ -231,11 +234,16 @@ class ClusterEquivalenceReport:
     sequence_length: int
     bit_identical: bool
     cluster_seconds: float
+    per_head_loop_seconds: float
     row_by_row_seconds: float
 
     @property
     def speedup(self) -> float:
         return self.row_by_row_seconds / self.cluster_seconds
+
+    @property
+    def fused_speedup(self) -> float:
+        return self.per_head_loop_seconds / self.cluster_seconds
 
 
 def run_ap_cluster_equivalence(
@@ -245,14 +253,17 @@ def run_ap_cluster_equivalence(
     precision: PrecisionConfig = BEST_PRECISION,
     seed: int = 0,
 ) -> ClusterEquivalenceReport:
-    """Compare the AP cluster path against software and row-by-row paths.
+    """Compare the fused cluster path against its three ancestors.
 
-    A ``(batch, heads, seq)`` attention-score tensor is evaluated three
-    ways: on the :class:`~repro.mapping.cluster.ApCluster` (one vectorized
-    ``execute_functional_batch`` per head), by the pre-cluster row-by-row
-    replacement path (one per-vector functional AP execution per
-    ``(batch, head)`` pair — how the model applied AP-backed softmax before
-    the cluster existed), and by the pure-software integer pipeline.
+    A ``(batch, heads, seq)`` attention-score tensor is evaluated four
+    ways: on the :class:`~repro.mapping.cluster.ApCluster` (one fused
+    compiled-plan pass over the head-major row space), by the PR 2
+    per-head loop (one per-operation AP-engine execution per head —
+    :meth:`~repro.mapping.plan.ExecutionPlan.execute_on_ap`, how the
+    cluster executed before the plan layer), by the pre-cluster row-by-row
+    replacement path (one per-vector AP execution per ``(batch, head)``
+    pair), and by the pure-software integer pipeline.  All four must be
+    bit-identical; the timings pin the fused path's speedups.
     """
     rng = np.random.default_rng(seed)
     scores = rng.normal(0.0, 2.0, size=(batch, heads, sequence_length))
@@ -264,19 +275,32 @@ def run_ap_cluster_equivalence(
     cluster_probabilities = cluster.execute(scores)
     cluster_seconds = time.perf_counter() - start
 
-    mapping = SoftmAPMapping(
-        precision=precision, sequence_length=sequence_length, backend="vectorized"
-    )
+    # PR 2 baseline: the per-head Python loop, each head's (batch, seq)
+    # block issued as per-operation engine sweeps over its own CAM.
+    plan = cluster.mapping.plan(sequence_length=sequence_length)
+    loop_probabilities = np.empty_like(scores)
+    start = time.perf_counter()
+    for h in range(heads):
+        loop_probabilities[:, h, :] = plan.execute_on_ap(
+            scores[:, h, :], engine="vectorized"
+        )
+    loop_seconds = time.perf_counter() - start
+
+    # PR 1 baseline: one per-vector AP execution per score row.
     row_probabilities = np.empty_like(scores)
     start = time.perf_counter()
     for b in range(batch):
         for h in range(heads):
-            row_probabilities[b, h] = mapping.execute_functional(scores[b, h])
+            row_probabilities[b, h] = plan.execute_on_ap(
+                scores[b, h][None, :], engine="vectorized"
+            )[0]
     row_seconds = time.perf_counter() - start
 
     software = IntegerSoftmax(precision, barrett_correction=False)(scores)
-    bit_identical = np.array_equal(cluster_probabilities, software) and np.array_equal(
-        cluster_probabilities, row_probabilities
+    bit_identical = (
+        np.array_equal(cluster_probabilities, software)
+        and np.array_equal(cluster_probabilities, loop_probabilities)
+        and np.array_equal(cluster_probabilities, row_probabilities)
     )
     return ClusterEquivalenceReport(
         batch=batch,
@@ -284,6 +308,7 @@ def run_ap_cluster_equivalence(
         sequence_length=sequence_length,
         bit_identical=bool(bit_identical),
         cluster_seconds=cluster_seconds,
+        per_head_loop_seconds=loop_seconds,
         row_by_row_seconds=row_seconds,
     )
 
@@ -367,8 +392,10 @@ def render_cluster_equivalence(report: ClusterEquivalenceReport) -> str:
     return (
         f"AP cluster parity ({report.batch} batch x {report.heads} heads "
         f"x {report.sequence_length} seq): {verdict} to the software "
-        f"pipeline; cluster {report.cluster_seconds:.3f}s vs row-by-row "
-        f"{report.row_by_row_seconds:.3f}s -> {report.speedup:.1f}x"
+        f"pipeline; fused {report.cluster_seconds:.3f}s vs per-head loop "
+        f"{report.per_head_loop_seconds:.3f}s -> {report.fused_speedup:.1f}x "
+        f"(row-by-row {report.row_by_row_seconds:.3f}s -> "
+        f"{report.speedup:.1f}x)"
     )
 
 

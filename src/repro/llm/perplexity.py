@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.ap.engine import canonical_engine_name
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
 from repro.nn.autograd import no_grad
 from repro.quant.precision import PrecisionConfig
@@ -73,18 +74,20 @@ def ap_cluster_softmax_fn(
 
     Equivalent to ``resolve_backend("ap-cluster", num_heads=...,
     precision=..., sequence_length=..., engine=backend,
-    options=kwargs).softmax_fn()`` — one simulated per-head AP per
-    attention head, every probability produced by CAM compare/write
-    semantics, bit-identical to the software pipeline with
+    options=kwargs).softmax_fn()`` — the cluster executes every layer's
+    head-major score matrix as one fused compiled-plan pass, bit-identical
+    to the historical per-head loop and to the software pipeline with
     ``barrett_correction=False`` while the sum accumulator does not
-    saturate.  Prefer ``evaluate_perplexity(..., backend="ap-cluster")``.
+    saturate.  ``backend`` names the functional engine and is validated
+    eagerly with a "did you mean" suggestion.  Prefer
+    ``evaluate_perplexity(..., backend="ap-cluster")``.
     """
     return resolve_backend(
         "ap-cluster",
         num_heads=num_heads,
         precision=precision,
         sequence_length=sequence_length,
-        engine=backend,
+        engine=canonical_engine_name(backend),
         options=kwargs,
     ).softmax_fn()
 
@@ -116,7 +119,10 @@ def evaluate_perplexity(
         "gpu-analytical"), a :class:`~repro.runtime.backend.BackendSpec`,
         or a resolved backend instance.  Mutually exclusive with
         ``softmax_fn``.  Pass a resolved instance to read its accumulated
-        cost telemetry afterwards.
+        cost telemetry afterwards.  The AP-family backends execute through
+        the compiled-plan layer — every layer's attention softmax is one
+        fused wide pass, and each ``SoftmaxResult`` carries its
+        :class:`~repro.mapping.plan.PlanTelemetry`.
     """
     if backend is not None:
         if softmax_fn is not None:

@@ -10,13 +10,25 @@ This package is the co-design half of the paper:
 * :mod:`repro.mapping.deployment` — the per-head deployment used for the
   hardware characterization (one AP per attention head, Llama2 7b/13b/70b
   area figures, per-invocation energy/latency);
+* :mod:`repro.mapping.plan` — the compiled-execution layer:
+  :class:`ExecutionPlan` lowers the dataflow once (resolved fields, lowered
+  program, per-step cost) and executes whole workloads as fused, head-major
+  row spaces; :func:`plan_passes` tiles oversized workloads into passes;
 * :mod:`repro.mapping.cluster` — :class:`ApCluster`, the *functional*
-  multi-head deployment: per-head APs executing a sharded
-  ``(batch, heads, seq)`` score tensor with concurrency-aware cost
-  aggregation and a pipelined multi-batch schedule.
+  multi-head deployment: one shared plan executing a ``(batch, heads, seq)``
+  score tensor as fused wide passes with concurrency-aware cost
+  aggregation and a pipelined multi-batch/pass schedule.
 """
 
 from repro.mapping.dataflow import DataflowStep, StepKind, softmax_dataflow
+from repro.mapping.plan import (
+    ExecutionPlan,
+    PlanField,
+    PlanOp,
+    PlanTelemetry,
+    WorkloadPass,
+    plan_passes,
+)
 from repro.mapping.softmap import SoftmAPMapping, MappingCost, StepCost
 from repro.mapping.deployment import ApDeployment, DeploymentSummary
 from repro.mapping.cluster import (
@@ -30,6 +42,12 @@ __all__ = [
     "DataflowStep",
     "StepKind",
     "softmax_dataflow",
+    "ExecutionPlan",
+    "PlanField",
+    "PlanOp",
+    "PlanTelemetry",
+    "WorkloadPass",
+    "plan_passes",
     "SoftmAPMapping",
     "MappingCost",
     "StepCost",

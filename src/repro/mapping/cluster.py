@@ -1,15 +1,23 @@
-"""Functional multi-AP cluster: one per-head AP executing batched softmax.
+"""Functional multi-AP cluster executing batched softmax as fused passes.
 
-The paper deploys one AP per attention head (Fig. 4).  Up to PR 1 that
-deployment existed only analytically (:class:`~repro.mapping.deployment.ApDeployment`
-derives area/latency/energy) while the functional path still evaluated the
-integer softmax in plain numpy.  :class:`ApCluster` closes the gap: it holds
-one :class:`~repro.mapping.softmap.SoftmAPMapping` per head, shards a
-``(batch, heads, seq)`` attention-score tensor head by head, and executes
-every head's ``(batch, seq)`` block through
-:meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch` —
-so every probability the LLM substrate consumes is produced by CAM
-compare/write semantics.
+The paper deploys one AP per attention head (Fig. 4).  Up to PR 3 the
+functional form of that deployment interpreted the dataflow head by head:
+``num_heads`` identical :class:`~repro.mapping.softmap.SoftmAPMapping`
+instances, one Python-level ``execute_functional_batch`` call per head per
+layer per pass.  The AP itself is word-parallel across rows, so that loop
+was pure simulator overhead, not modeled hardware.
+
+:class:`ApCluster` now executes through the compiled-plan layer
+(:mod:`repro.mapping.plan`): **one** shared mapping/plan (the heads are
+structurally identical, so memory no longer scales with head count) lowers
+the dataflow once, and a ``(batch, heads, seq)`` score tensor runs as one
+fused, head-major row space — heads become extra row segments of a single
+wide engine invocation, bit-identical to the per-head loop.  When a
+``pass_row_budget`` is set, the planner (:func:`repro.mapping.plan.plan_passes`)
+tiles the workload into passes and :meth:`ApCluster.schedule` — the
+two-stage load/compute pipeline — consumes the pass list, which also opens
+sequences longer than the per-head provisioned length (the fused row space
+spans the whole cluster's rows, not one head's).
 
 Concurrency accounting
 ----------------------
@@ -27,13 +35,14 @@ per-head APs work concurrently on their own share of the score tensor:
 Multi-batch schedule
 --------------------
 :meth:`ApCluster.schedule` models a two-stage pipeline over consecutive
-batches: the operand/constant *load* phase of batch ``k + 1`` (the dataflow's
-element-wise ``Write`` steps, issued by the controller ahead of time)
-overlaps the *compute* phase of batch ``k`` (everything else — including the
-step-15 sum broadcast, a write that depends on the same batch's reduction
-and therefore cannot be preloaded).  The steady-state
-initiation interval is therefore ``max(load, compute)`` and the makespan of
-``n`` batches is ``load + compute + (n - 1) * max(load, compute)``.
+batches (or planner passes): the operand/constant *load* phase of batch
+``k + 1`` (the dataflow's element-wise ``Write`` steps, issued by the
+controller ahead of time) overlaps the *compute* phase of batch ``k``
+(everything else — including the step-15 sum broadcast, a write that
+depends on the same batch's reduction and therefore cannot be preloaded).
+The steady-state initiation interval is therefore ``max(load, compute)``
+and the makespan of ``n`` batches is
+``load + compute + (n - 1) * max(load, compute)``.
 """
 
 from __future__ import annotations
@@ -43,12 +52,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.ap.processor2d import AssociativeProcessor2D
+from repro.ap.engine import canonical_engine_name
 from repro.ap.tech import TECH_16NM, TechnologyParameters
 from repro.mapping.dataflow import StepKind
+from repro.mapping.plan import PlanTelemetry, WorkloadPass, plan_passes
 from repro.mapping.softmap import MappingCost, SoftmAPMapping
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
-from repro.utils.validation import check_in_choices, check_positive_int
+from repro.utils.validation import check_positive_int
 
 __all__ = ["ApCluster", "ClusterCost", "ClusterSchedule", "ClusterSoftmaxFn"]
 
@@ -131,7 +141,9 @@ class ClusterSoftmaxFn:
 
     def __init__(self, cluster: "ApCluster", backend: Optional[str] = None) -> None:
         self.cluster = cluster
-        self.backend = backend
+        # Eager, with a "did you mean": an engine typo must fail here, not
+        # on the first attention row deep inside a perplexity evaluation.
+        self.backend = None if backend is None else canonical_engine_name(backend)
         self._runtime_backend = None
 
     def runtime_backend(self):
@@ -163,16 +175,28 @@ class ApCluster:
     Parameters
     ----------
     num_heads:
-        Number of APs (one per attention head).
+        Number of APs (one per attention head).  The heads are structurally
+        identical, so they share **one** mapping/plan; only the cost
+        aggregation multiplies by the head count.
     precision / words_per_row / columns / tech / division / clip_threshold:
-        Forwarded to every per-head :class:`~repro.mapping.softmap.SoftmAPMapping`.
+        Forwarded to the shared :class:`~repro.mapping.softmap.SoftmAPMapping`.
     sequence_length:
         The sequence length the cluster is provisioned for; longer score
-        tensors are rejected (shorter ones are fine — the functional AP is
-        rebuilt per call and the cost view accepts a runtime length).
+        tensors are rejected (shorter ones are fine — plans are compiled
+        per runtime length and the cost view accepts a runtime length)
+        unless an explicit ``pass_row_budget`` re-provisions capacity.
     backend:
-        Default functional backend; ``"vectorized"`` because the cluster is
+        Default functional engine; ``"vectorized"`` because the cluster is
         the model-scale fast path (``"reference"`` validates bit-exactness).
+        Validated eagerly with a "did you mean" suggestion.
+    pass_row_budget:
+        Optional maximum number of AP words one fused pass may occupy.
+        ``None`` (default) executes any workload as a single fused pass
+        with sequences capped at the provisioned length.  With a budget,
+        the planner tiles the workload into passes consumed by the
+        two-stage :meth:`schedule` pipeline, and sequences up to the budget
+        are accepted even beyond the per-head provisioned length — the
+        fused row space spans the whole cluster, not one head's AP.
     """
 
     def __init__(
@@ -186,40 +210,76 @@ class ApCluster:
         division: str = "restoring",
         clip_threshold: Optional[float] = None,
         backend: str = "vectorized",
+        pass_row_budget: Optional[int] = None,
     ) -> None:
         self.num_heads = check_positive_int(num_heads, "num_heads")
         self.sequence_length = check_positive_int(sequence_length, "sequence_length")
-        self.backend = check_in_choices(
-            backend, AssociativeProcessor2D.BACKENDS, "backend"
+        self.backend = canonical_engine_name(backend)
+        if pass_row_budget is not None:
+            check_positive_int(pass_row_budget, "pass_row_budget")
+        self.pass_row_budget = pass_row_budget
+        # One shared mapping/plan: heads are structurally identical, so the
+        # lowered program and its cost are compiled once for the whole
+        # cluster instead of once per head.
+        self.mapping = SoftmAPMapping(
+            precision=precision,
+            sequence_length=sequence_length,
+            words_per_row=words_per_row,
+            columns=columns,
+            tech=tech,
+            division=division,
+            clip_threshold=clip_threshold,
+            backend=backend,
         )
-        self._head_mappings: List[SoftmAPMapping] = [
-            SoftmAPMapping(
-                precision=precision,
-                sequence_length=sequence_length,
-                words_per_row=words_per_row,
-                columns=columns,
-                tech=tech,
-                division=division,
-                clip_threshold=clip_threshold,
-                backend=backend,
-            )
-            for _ in range(self.num_heads)
-        ]
         self.precision = precision
         self.words_per_row = words_per_row
         self.columns = columns
         self.tech = tech
-        self.division = self._head_mappings[0].division
+        self.division = self.mapping.division
         self.clip_threshold = clip_threshold
 
     # ------------------------------------------------------------------ #
-    # Sharded functional execution                                         #
+    # Fused functional execution                                           #
     # ------------------------------------------------------------------ #
     def head_mapping(self, head: int) -> SoftmAPMapping:
-        """The per-head dataflow mapping owning shard ``head``."""
+        """The dataflow mapping owning shard ``head``.
+
+        All heads share one mapping (they are structurally identical); the
+        index is still validated so head bookkeeping errors surface.
+        """
         if not 0 <= head < self.num_heads:
             raise IndexError(f"head {head} out of range ({self.num_heads} heads)")
-        return self._head_mappings[head]
+        return self.mapping
+
+    def workload_passes(self, vectors: int, sequence_length: int) -> List[WorkloadPass]:
+        """The planner's pass list for ``vectors`` softmax vectors."""
+        return plan_passes(
+            vectors, sequence_length, row_budget=self.pass_row_budget
+        )
+
+    def plan_telemetry(
+        self,
+        vectors: int,
+        sequence_length: int,
+        engine: Optional[str] = None,
+    ) -> PlanTelemetry:
+        """Plan-level telemetry describing one execution.
+
+        ``fused`` reports whether the packed fast path actually runs for
+        this shape/engine combination — ``False`` when the reference engine
+        interprets the program on the AP or the layout is not packable.
+        """
+        engine = canonical_engine_name(engine) if engine else self.backend
+        passes = self.workload_passes(vectors, sequence_length)
+        plan = self.mapping.plan(sequence_length=sequence_length)
+        return PlanTelemetry(
+            fused=engine == "vectorized" and plan.packable,
+            engine=engine,
+            passes=len(passes),
+            vectors=vectors,
+            segment_length=sequence_length,
+            words_per_pass=tuple(p.words for p in passes),
+        )
 
     def execute(
         self,
@@ -229,13 +289,14 @@ class ApCluster:
     ) -> np.ndarray:
         """Execute a ``(batch, heads, seq)`` score tensor on the cluster.
 
-        Head ``h``'s ``(batch, seq)`` block is handed to its own
-        :class:`~repro.mapping.softmap.SoftmAPMapping` and executed in one
-        :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
-        call (all ``batch`` vectors stacked in that head's AP); the heads'
-        results are reassembled into a ``(batch, heads, seq)`` probability
-        tensor.  ``valid_lengths`` may be ``(batch,)`` (shared by all heads)
-        or ``(batch, heads)``; see the mapping method for its semantics.
+        The tensor is reshaped into one head-major row space (row
+        ``h * batch + b`` holds batch row ``b`` of head ``h``) and every
+        planner pass runs as **one** fused plan execution — heads are row
+        segments, not Python iterations.  Results are bit-identical to the
+        historical per-head loop (each vector's program is independent).
+        ``valid_lengths`` may be ``(batch,)`` (shared by all heads) or
+        ``(batch, heads)``; see
+        :meth:`~repro.mapping.plan.ExecutionPlan.execute` for semantics.
         """
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 3:
@@ -247,12 +308,8 @@ class ApCluster:
             raise ValueError(
                 f"score tensor has {heads} heads, cluster has {self.num_heads}"
             )
-        if seq > self.sequence_length:
-            raise ValueError(
-                f"sequence length {seq} exceeds the provisioned "
-                f"maximum {self.sequence_length}"
-            )
-        per_head_lengths: Optional[np.ndarray] = None
+        self._check_capacity(seq)
+        flat_lengths: Optional[np.ndarray] = None
         if valid_lengths is not None:
             per_head_lengths = np.asarray(valid_lengths, dtype=np.int64)
             if per_head_lengths.ndim == 1:
@@ -264,16 +321,47 @@ class ApCluster:
                     f"valid_lengths must have shape ({batch},) or "
                     f"({batch}, {heads}), got {np.asarray(valid_lengths).shape}"
                 )
-        probabilities = np.empty_like(scores)
-        for head, mapping in enumerate(self._head_mappings):
-            probabilities[:, head, :] = mapping.execute_functional_batch(
-                scores[:, head, :],
+            flat_lengths = per_head_lengths.T.reshape(-1)  # head-major rows
+        stacked = scores.transpose(1, 0, 2).reshape(heads * batch, seq)
+        fused = self._execute_rows(stacked, flat_lengths, backend=backend)
+        return fused.reshape(heads, batch, seq).transpose(1, 0, 2)
+
+    def _execute_rows(
+        self,
+        rows: np.ndarray,
+        valid_lengths: Optional[np.ndarray],
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Run a head-major ``(vectors, seq)`` row space pass by pass."""
+        passes = self.workload_passes(rows.shape[0], rows.shape[1])
+        if len(passes) == 1:
+            return self.mapping.execute_functional_batch(
+                rows, backend=backend, valid_lengths=valid_lengths
+            )
+        probabilities = np.empty_like(rows)
+        for tile in passes:
+            chunk = slice(tile.start, tile.start + tile.vectors)
+            probabilities[chunk] = self.mapping.execute_functional_batch(
+                rows[chunk],
                 backend=backend,
                 valid_lengths=(
-                    None if per_head_lengths is None else per_head_lengths[:, head]
+                    None if valid_lengths is None else valid_lengths[chunk]
                 ),
             )
         return probabilities
+
+    def _check_capacity(self, sequence_length: int) -> None:
+        """Reject sequences beyond the provisioned capacity.
+
+        With a ``pass_row_budget`` the planner is the capacity authority
+        (it rejects segments that do not fit a pass); otherwise the
+        per-head provisioned length applies, as it always has.
+        """
+        if self.pass_row_budget is None and sequence_length > self.sequence_length:
+            raise ValueError(
+                f"sequence length {sequence_length} exceeds the provisioned "
+                f"maximum {self.sequence_length}"
+            )
 
     def softmax_fn(self, backend: Optional[str] = None) -> ClusterSoftmaxFn:
         """A batched attention-softmax callable for the LLM substrate."""
@@ -283,10 +371,10 @@ class ApCluster:
         """This cluster as a :class:`~repro.runtime.backend.SoftmaxBackend`.
 
         The returned :class:`~repro.runtime.backend.ApClusterBackend` wraps
-        *this* cluster (no per-head APs are rebuilt) and exposes the uniform
+        *this* cluster (no mappings are rebuilt) and exposes the uniform
         ``run(scores) -> SoftmaxResult`` contract — probabilities plus the
-        concurrency-aware cost of every pass.  ``engine`` optionally
-        overrides the functional engine per backend
+        concurrency-aware cost and plan telemetry of every pass.  ``engine``
+        optionally overrides the functional engine per backend
         (``"reference"``/``"vectorized"``).
         """
         # Imported lazily: repro.runtime.backend imports this module.
@@ -307,7 +395,7 @@ class ApCluster:
         (energy) but not the cycle count (see the module docstring).
         """
         check_positive_int(batch, "batch")
-        per_head = self._cost_mapping(sequence_length).cost()
+        per_head = self._per_head_cost(sequence_length)
         return ClusterCost(
             per_head=per_head,
             num_heads=self.num_heads,
@@ -333,10 +421,12 @@ class ApCluster:
         *compute* stage that owns the match lines.  Batch ``k + 1``'s load
         overlaps batch ``k``'s compute, giving the classic two-stage
         pipeline makespan ``load + compute + (n - 1) * max(load, compute)``.
+        The planner's pass list feeds this directly: a tiled fused workload
+        of ``k`` passes schedules as ``schedule(k)``.
         """
         check_positive_int(num_batches, "num_batches")
         check_positive_int(batch, "batch")
-        per_head = self._cost_mapping(sequence_length).cost()
+        per_head = self._per_head_cost(sequence_length)
         load = sum(
             s.cost.latency_s
             for s in per_head.steps
@@ -354,23 +444,20 @@ class ApCluster:
             energy_j=per_head.energy_j * self.num_heads * batch * num_batches,
         )
 
-    def _cost_mapping(self, sequence_length: Optional[int]) -> SoftmAPMapping:
-        """A mapping sized for an (optional) runtime sequence length."""
-        if sequence_length is None or sequence_length == self.sequence_length:
-            return self._head_mappings[0]
-        check_positive_int(sequence_length, "sequence_length")
-        if sequence_length > self.sequence_length:
-            raise ValueError(
-                f"sequence length {sequence_length} exceeds the provisioned "
-                f"maximum {self.sequence_length}"
-            )
-        return SoftmAPMapping(
-            precision=self.precision,
-            sequence_length=sequence_length,
-            words_per_row=self.words_per_row,
-            columns=self.columns,
-            tech=self.tech,
-            division=self.division,
-            clip_threshold=self.clip_threshold,
-            backend=self.backend,
-        )
+    def _per_head_cost(self, sequence_length: Optional[int]) -> MappingCost:
+        """Per-head pass cost for an (optional) runtime sequence length.
+
+        Served from the shared mapping's plan cache, so repeated costing
+        (one call per layer in the perplexity path) compiles nothing.
+        """
+        if sequence_length is not None:
+            check_positive_int(sequence_length, "sequence_length")
+            if (
+                sequence_length > self.sequence_length
+                and self.pass_row_budget is None
+            ):
+                raise ValueError(
+                    f"sequence length {sequence_length} exceeds the "
+                    f"provisioned maximum {self.sequence_length}"
+                )
+        return self.mapping.plan(sequence_length=sequence_length).cost()

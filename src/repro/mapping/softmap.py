@@ -1,16 +1,21 @@
 """SoftmAP: the integer softmax dataflow executed and costed on the AP.
 
-:class:`SoftmAPMapping` is the heart of the co-design reproduction.  It
-drives two views of the same Fig. 5 dataflow:
+:class:`SoftmAPMapping` is the heart of the co-design reproduction.  Since
+the compiled-plan layer landed it is a thin, cached front over
+:class:`~repro.mapping.plan.ExecutionPlan`: the Fig. 5 dataflow is lowered
+**once** per (precision, sequence-length, output-width) shape — resolved
+field layout, lowered instruction sequence, per-step Table II cost — and
+every call executes the compiled program instead of re-interpreting the
+sixteen steps:
 
 * :meth:`SoftmAPMapping.cost` — the analytical view used for the paper's
-  hardware characterization: every step is translated to cycles via the
-  Table II formulas (plus documented formulas for copy/shift/divide) and to
-  energy via the 16 nm technology parameters.
-* :meth:`SoftmAPMapping.execute_functional` — the functional view: the same
-  steps are executed on the bit-level 2D AP simulator
-  (:class:`~repro.ap.processor2d.AssociativeProcessor2D`) for one softmax
-  vector, and the result is bit-identical to the pure-software
+  hardware characterization: the plan's per-step Table II cycles plus the
+  16 nm technology energy model.
+* :meth:`SoftmAPMapping.execute_functional` /
+  :meth:`SoftmAPMapping.execute_functional_batch` — the functional view:
+  the compiled program runs over the whole score tensor as one fused row
+  space (``"vectorized"``) or on the bit-serial functional AP
+  (``"reference"``), bit-identical to the pure-software
   :class:`~repro.softmax.integer_softmax.IntegerSoftmax` pipeline (checked
   in the integration tests).
 
@@ -22,56 +27,23 @@ Algorithm 1 because ``vcorr = -(z mod vln2)``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.ap.cost import ApCostModel, OperationCost
-from repro.ap.processor2d import AssociativeProcessor2D
+from repro.ap.engine import canonical_engine_name
 from repro.ap.tech import TECH_16NM, TechnologyParameters
-from repro.mapping.dataflow import DataflowStep, StepKind, max_shift_amount, softmax_dataflow
+from repro.mapping.dataflow import DataflowStep
+from repro.mapping.plan import (
+    ExecutionPlan,
+    MappingCost,
+    StepCost,
+    multiplication_cycles_general,
+)
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
-from repro.quant.quantizer import ClippedSoftmaxInputQuantizer
-from repro.softmax.polynomial import IExpPolynomial
-from repro.utils.bitwidth import bits_for_unsigned
 from repro.utils.validation import check_in_choices, check_positive_int
 
 __all__ = ["SoftmAPMapping", "MappingCost", "StepCost"]
-
-
-@dataclass(frozen=True)
-class StepCost:
-    """Cost of one dataflow step."""
-
-    step: DataflowStep
-    cost: OperationCost
-
-
-@dataclass(frozen=True)
-class MappingCost:
-    """Aggregate cost of one softmax pass on one AP."""
-
-    steps: List[StepCost]
-    total: OperationCost
-    rows: int
-    columns: int
-    area_mm2: float
-
-    @property
-    def cycles(self) -> float:
-        """Total compare/write cycles of the pass."""
-        return self.total.cycles
-
-    @property
-    def latency_s(self) -> float:
-        """Latency of the pass in seconds."""
-        return self.total.latency_s
-
-    @property
-    def energy_j(self) -> float:
-        """Energy of the pass in joules."""
-        return self.total.energy_j
 
 
 class SoftmAPMapping:
@@ -101,12 +73,15 @@ class SoftmAPMapping:
         Softmax input clipping threshold; defaults to the paper's per-``M``
         value.
     backend:
-        Default execution backend of the functional simulator:
-        ``"reference"`` (bit-serial LUT sweeps, the ground truth) or
-        ``"vectorized"`` (the packed-word
-        :class:`~repro.ap.engine.BitPlaneEngine`, bit-identical and orders
-        of magnitude faster).  Can be overridden per call on
-        :meth:`execute_functional` / :meth:`execute_functional_batch`.
+        Default execution engine of the compiled plan: ``"reference"``
+        (bit-serial LUT sweeps on the functional AP, the ground truth) or
+        ``"vectorized"`` (the fused packed-word path of
+        :class:`~repro.mapping.plan.ExecutionPlan`, bit-identical and
+        orders of magnitude faster).  Validated eagerly with a
+        "did you mean" suggestion
+        (:func:`~repro.ap.engine.canonical_engine_name`); can be overridden
+        per call on :meth:`execute_functional` /
+        :meth:`execute_functional_batch`.
     """
 
     #: Realisations of the final normalisation step (see ``division`` above).
@@ -136,112 +111,71 @@ class SoftmAPMapping:
         self.columns = check_positive_int(columns, "columns")
         self.tech = tech
         self.division = check_in_choices(division, self.DIVISION_MODES, "division")
-        self.backend = check_in_choices(
-            backend, AssociativeProcessor2D.BACKENDS, "backend"
-        )
-        self.quantizer = ClippedSoftmaxInputQuantizer(
-            bits=precision.input_bits, clip_threshold=clip_threshold
-        )
-        self.polynomial = IExpPolynomial(
-            input_bits=precision.input_bits, barrett_correction=False
-        )
-        self.constants = self.polynomial.constants(self.quantizer.scale)
-        # Ceil division: an odd sequence length still occupies a final,
-        # partly filled row (floor division would silently drop its word).
-        self.rows = -(-self.sequence_length // self.words_per_row)
-        self.cost_model = ApCostModel(rows=self.rows, columns=self.columns, tech=tech)
+        self.backend = canonical_engine_name(backend)
+        self.clip_threshold = clip_threshold
+        self._plans: Dict[Tuple[int, int], ExecutionPlan] = {}
+        # The provisioned-shape plan: compiling it here keeps construction
+        # errors (invalid precision/threshold combinations) eager and
+        # preserves the historical attribute surface.
+        provisioned = self.plan()
+        self.quantizer = provisioned.quantizer
+        self.polynomial = provisioned.polynomial
+        self.constants = provisioned.constants
+        self.rows = provisioned.rows
+        self.cost_model = provisioned.cost_model
+
+    # ------------------------------------------------------------------ #
+    # Compilation                                                          #
+    # ------------------------------------------------------------------ #
+    def plan(
+        self,
+        sequence_length: Optional[int] = None,
+        output_fraction_bits: Optional[int] = None,
+    ) -> ExecutionPlan:
+        """The compiled :class:`~repro.mapping.plan.ExecutionPlan`.
+
+        Plans are cached per ``(sequence_length, output_fraction_bits)``
+        shape, so repeated execution (every head, every layer, every pass)
+        lowers the dataflow exactly once.
+        """
+        if sequence_length is None:
+            sequence_length = self.sequence_length
+        if output_fraction_bits is None:
+            output_fraction_bits = self.precision.result_column_bits
+        key = (sequence_length, output_fraction_bits)
+        if key not in self._plans:
+            self._plans[key] = ExecutionPlan(
+                precision=self.precision,
+                sequence_length=sequence_length,
+                words_per_row=self.words_per_row,
+                columns=self.columns,
+                tech=self.tech,
+                division=self.division,
+                clip_threshold=self.clip_threshold,
+                engine=self.backend,
+                output_fraction_bits=output_fraction_bits,
+            )
+        return self._plans[key]
 
     # ------------------------------------------------------------------ #
     # Analytical cost                                                      #
     # ------------------------------------------------------------------ #
     def steps(self) -> List[DataflowStep]:
         """The sixteen dataflow steps for this configuration."""
-        return softmax_dataflow(
-            self.precision, self.sequence_length, vln2=self.constants.vln2
-        )
+        return list(self.plan().dataflow_steps)
 
     def cost(self) -> MappingCost:
-        """Cost every step with the Table II / technology model."""
-        step_costs: List[StepCost] = []
-        total = OperationCost.zero("softmap")
-        for step in self.steps():
-            cost = self._step_cost(step)
-            if step.elementwise and self.words_per_row > 1:
-                cost = cost.scaled(self.words_per_row, name=cost.name)
-            step_costs.append(StepCost(step=step, cost=cost))
-            total = total + cost
-        total = OperationCost(
-            name="softmap-pass",
-            cycles=total.cycles,
-            latency_s=total.latency_s,
-            energy_j=total.energy_j,
-        )
-        return MappingCost(
-            steps=step_costs,
-            total=total,
-            rows=self.rows,
-            columns=self.columns,
-            area_mm2=self.cost_model.area_mm2(),
-        )
+        """Cost every step with the Table II / technology model.
 
-    def _step_cost(self, step: DataflowStep) -> OperationCost:
-        model = self.cost_model
-        if step.kind is StepKind.WRITE:
-            return model.write(step.width)
-        if step.kind is StepKind.SUBTRACT:
-            return model.subtraction(step.width)
-        if step.kind is StepKind.ADD:
-            return model.addition(step.width)
-        if step.kind is StepKind.COPY:
-            return model.copy(step.width)
-        if step.kind is StepKind.MULTIPLY:
-            multiplier = step.aux_width if step.aux_width else step.width
-            cycles = self.multiplication_cycles_general(step.width, multiplier)
-            return model.cost_from_cycles(
-                f"mul[{step.width}x{multiplier}b]", cycles
-            )
-        if step.kind is StepKind.SHIFT:
-            addition = model.addition(step.width)
-            shift = model.variable_shift(step.width, step.aux_width)
-            combined = addition + shift
-            return OperationCost(
-                name=f"add+shift[{step.width}b]",
-                cycles=combined.cycles,
-                latency_s=combined.latency_s,
-                energy_j=combined.energy_j,
-            )
-        if step.kind is StepKind.REDUCTION:
-            return model.reduction(
-                step.width, words=step.aux_width, words_per_row=self.words_per_row
-            )
-        if step.kind is StepKind.DIVIDE:
-            return self._division_cost(step)
-        raise ValueError(f"unknown step kind {step.kind!r}")
+        The per-step dispatch lives in the plan's compilation
+        (:func:`~repro.mapping.plan._analytic_step_cost`); this method just
+        reads the compiled result.
+        """
+        return self.plan().cost()
 
     def multiplication_cycles_general(self, width: int, multiplier_bits: int) -> int:
-        """Table II multiplication generalised to unequal operand widths:
-        ``2*width`` operand cycles, ``8*width*multiplier`` shift-add cycles
-        and ``2*width`` result handling (reduces to ``2M + 8M^2 + 2M`` when
-        both operands are ``M`` bits wide)."""
-        check_positive_int(width, "width")
-        check_positive_int(multiplier_bits, "multiplier_bits")
-        return 2 * width + 8 * width * multiplier_bits + 2 * width
-
-    def _division_cost(self, step: DataflowStep) -> OperationCost:
-        model = self.cost_model
-        vapprox = self.precision.vapprox_bits
-        fraction = max(0, step.width - vapprox)
-        if self.division == "restoring":
-            return model.division(
-                dividend_bits=vapprox,
-                divisor_bits=step.aux_width,
-                fraction_bits=fraction,
-            )
-        # Reciprocal mode: the controller computes 1/sum once (off the CAM
-        # critical path) and the AP multiplies vapprox by the reciprocal in
-        # ``result_column_bits`` fixed-point precision.
-        cycles = self.multiplication_cycles_general(vapprox, step.width)
-        return model.cost_from_cycles(f"recip-mul[{vapprox}x{step.width}b]", cycles)
+        """See :func:`repro.mapping.plan.multiplication_cycles_general`."""
+        return multiplication_cycles_general(width, multiplier_bits)
 
     # ------------------------------------------------------------------ #
     # Functional execution                                                 #
@@ -252,7 +186,7 @@ class SoftmAPMapping:
         output_fraction_bits: Optional[int] = None,
         backend: Optional[str] = None,
     ) -> np.ndarray:
-        """Execute the dataflow on the functional 2D AP for one vector.
+        """Execute the compiled plan for one score vector.
 
         Parameters
         ----------
@@ -262,14 +196,14 @@ class SoftmAPMapping:
             Fractional bits of the normalised output; defaults to the
             ``2M + 12`` result-column width.
         backend:
-            Functional AP backend (``"reference"`` / ``"vectorized"``);
-            defaults to the mapping's configured backend.
+            Functional AP engine (``"reference"`` / ``"vectorized"``);
+            defaults to the mapping's configured engine.
 
         Returns
         -------
-        The softmax probabilities computed entirely by CAM compare/write
-        passes (one word per row; correctness is what matters here, the
-        packing factor only affects the analytical cost).
+        The softmax probabilities computed by the lowered dataflow program
+        (one word per row; correctness is what matters here, the packing
+        factor only affects the analytical cost).
         """
         scores = np.asarray(scores, dtype=np.float64)
         if scores.ndim != 1:
@@ -287,17 +221,17 @@ class SoftmAPMapping:
         backend: Optional[str] = None,
         valid_lengths: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Execute the dataflow for a whole ``(batch, seq)`` score tensor.
+        """Execute the compiled plan for a whole ``(batch, seq)`` tensor.
 
-        All ``batch`` softmax vectors are stacked block by block into one
-        tall AP (``batch * seq`` rows) and the sixteen dataflow steps run
-        *once*: the element-wise steps are word-parallel over every row of
-        every vector, and the reduction/broadcast steps use the segmented 2D
-        tree (:meth:`~repro.ap.processor2d.AssociativeProcessor2D.reduce_sum_segmented`)
-        so each vector sums only its own block.  With the ``"vectorized"``
-        backend this is the fast path for batched softmax evaluation; with
-        the ``"reference"`` backend it produces bit-identical results (the
-        per-vector programs are independent).
+        All ``batch`` softmax vectors form one fused row space (each vector
+        a contiguous ``seq``-row segment) and the lowered program runs
+        *once*: element-wise steps are word-parallel over every row of
+        every vector, and the reduction/broadcast steps are segmented so
+        each vector sums only its own block.  With the ``"vectorized"``
+        engine this is the fused packed fast path; the ``"reference"``
+        engine interprets the same program on the bit-serial AP and
+        produces bit-identical results (the per-vector programs are
+        independent).
 
         Parameters
         ----------
@@ -307,15 +241,15 @@ class SoftmAPMapping:
             Fractional bits of the normalised output; defaults to the
             ``2M + 12`` result-column width.
         backend:
-            Functional AP backend; defaults to the mapping's configured one.
+            Functional AP engine; defaults to the mapping's configured one.
         valid_lengths:
             Optional per-vector prefix lengths (shape ``(batch,)``, each in
             ``1..seq``).  Vector ``b`` then softmaxes only its first
             ``valid_lengths[b]`` elements and the remaining positions return
             probability zero — the layout an attention row sees under the
-            causal mask.  The padding words are nulled *inside* the AP (a
-            tagged column clear of their ``vapprox`` field) so the valid
-            prefix is bit-identical to an unpadded run of the same length.
+            causal mask.  The padding words are nulled *inside* the plan (a
+            tagged clear of their ``vapprox`` field) so the valid prefix is
+            bit-identical to an unpadded run of the same length.
 
         Returns
         -------
@@ -326,133 +260,8 @@ class SoftmAPMapping:
             raise ValueError(
                 "execute_functional_batch expects a (batch, seq) score tensor"
             )
-        pad_mask = None  # (batch, seq) boolean, True at padding positions
-        if valid_lengths is not None:
-            valid_lengths = np.asarray(valid_lengths, dtype=np.int64)
-            if valid_lengths.shape != (scores.shape[0],):
-                raise ValueError(
-                    f"valid_lengths must have shape ({scores.shape[0]},), "
-                    f"got {valid_lengths.shape}"
-                )
-            if np.any(valid_lengths < 1) or np.any(valid_lengths > scores.shape[1]):
-                raise ValueError(
-                    "valid_lengths must lie in 1..seq for every vector"
-                )
-            if np.any(valid_lengths < scores.shape[1]):
-                pad_mask = (
-                    np.arange(scores.shape[1])[None, :] >= valid_lengths[:, None]
-                )
-                # Padding scores must not influence the per-vector maximum
-                # used for stabilisation.
-                scores = np.where(pad_mask, -np.inf, scores)
-        if backend is None:
-            backend = self.backend
-        else:
-            backend = check_in_choices(
-                backend, AssociativeProcessor2D.BACKENDS, "backend"
-            )
-        if output_fraction_bits is None:
-            output_fraction_bits = self.precision.result_column_bits
-        check_positive_int(output_fraction_bits, "output_fraction_bits")
-
-        constants = self.constants
-        m = self.precision.input_bits
-        quantized = self.quantizer.quantize(scores, stabilise=True)
-        z = (-quantized.values).astype(np.int64).ravel()  # z = -vstable >= 0
-        batch, n = scores.shape
-
-        shift_bits = max(1, bits_for_unsigned(max_shift_amount(self.precision, constants.vln2)))
-        mu_bits = max(1, bits_for_unsigned(constants.mu))
-        product_bits = m + mu_bits
-        q_bits = max(1, product_bits - 2 * m) + 1
-        vb_bits = max(1, bits_for_unsigned(constants.vb))
-        vc_bits = max(1, bits_for_unsigned(constants.vc))
-        poly_bits = 2 * (vb_bits + 1) + max(vc_bits - 2 * vb_bits, 0) + 2
-        vapprox_bits = poly_bits
-        sum_bits = vapprox_bits + max(1, bits_for_unsigned(max(n - 1, 1)))
-        out_bits = vapprox_bits + output_fraction_bits
-
-        columns_needed = (
-            m                      # z
-            + m                    # max / vln2 scratch
-            + mu_bits              # mu
-            + product_bits         # z * mu
-            + q_bits * 2 + 4       # q and q * vln2
-            + 2 * (vb_bits + 1)    # vb - r and its copy
-            + poly_bits            # polynomial
-            + vc_bits
-            + vapprox_bits
-            + sum_bits * 2
-            + out_bits
-            + sum_bits + 2         # division remainder
-            + 8
+        plan = self.plan(
+            sequence_length=scores.shape[1],
+            output_fraction_bits=output_fraction_bits,
         )
-        ap = AssociativeProcessor2D(
-            rows=batch * n, columns=columns_needed, backend=backend
-        )
-
-        # Step 1: write v (as z) and max(v); step 2 is already folded into z
-        # because the functional mapping tracks the non-negative magnitude.
-        z_field = ap.allocate_field("z", m)
-        ap.write_field(z_field, z)
-
-        # Steps 3-4: Barrett quotient q = (z * mu) >> 2M.
-        mu_field = ap.allocate_field("mu", mu_bits)
-        ap.write_constant(mu_field, constants.mu)
-        product = ap.allocate_field("z_mu", product_bits)
-        ap.multiply(z_field, mu_field, product)
-        q_view = ap.shifted_view(product, 2 * m, name="q")
-
-        # Steps 5-6: q * vln2 (the field is sized for the actual constant;
-        # Table I budgets 4 bits, which holds for M <= 6 with the paper's
-        # clipping thresholds).
-        vln2_field = ap.allocate_field("vln2", max(4, bits_for_unsigned(constants.vln2)))
-        ap.write_constant(vln2_field, constants.vln2)
-        q_field = ap.allocate_field("q", q_bits)
-        ap.copy(q_view, q_field)
-        q_vln2 = ap.allocate_field("q_vln2", q_bits + vln2_field.bits)
-        ap.multiply(q_field, vln2_field, q_vln2)
-
-        # Step 7: r = z - q*vln2 = z mod vln2 (so vcorr = -r).
-        r_field = ap.allocate_field("r", m)
-        ap.copy(z_field, r_field)
-        ap.subtract(r_field, q_vln2)
-
-        # Steps 8-9: w = vb - r  (= vcorr + vb).
-        w_field = ap.allocate_field("w", vb_bits + 1)
-        ap.write_constant(w_field, constants.vb)
-        ap.subtract(w_field, r_field)
-
-        # Steps 10-11: copy w, then square it (the copy is the dataflow's
-        # explicit step 10 — multiplicand and multiplier predicate must live
-        # in different columns).
-        w_copy = ap.allocate_field("w_copy", vb_bits + 1)
-        square = ap.allocate_field("w_sq", poly_bits)
-        ap.square(w_field, w_copy, square)
-
-        # Step 12-13: add vc, then shift right by q.
-        vc_field = ap.allocate_field("vc", vc_bits)
-        ap.write_constant(vc_field, constants.vc)
-        ap.add(vc_field, square)
-        vapprox = ap.allocate_field("vapprox", vapprox_bits)
-        ap.shift_right_variable(square, q_field, vapprox, max_shift_bits=min(shift_bits, q_field.bits))
-        if pad_mask is not None:
-            # Null the padding words so they contribute nothing to the
-            # segmented sum and divide to an all-zero output word.
-            ap.clear_rows(vapprox, pad_mask.ravel())
-
-        # Steps 14-15: reduction and broadcast of the sum (segmented so that
-        # every vector of the batch sums only its own block of rows).
-        total = ap.allocate_field("sum", sum_bits)
-        if batch == 1:
-            ap.reduce_and_broadcast(vapprox, total)
-        else:
-            ap.reduce_and_broadcast_segments(vapprox, total, n)
-
-        # Step 16: divide (fixed point with output_fraction_bits fraction).
-        quotient = ap.allocate_field("out", out_bits)
-        remainder = ap.allocate_field("rem", sum_bits + 1)
-        ap.divide(vapprox, total, quotient, remainder, fraction_bits=output_fraction_bits)
-
-        out = ap.read_field(quotient).astype(np.float64).reshape(batch, n)
-        return out * (2.0 ** -output_fraction_bits)
+        return plan.execute(scores, valid_lengths=valid_lengths, engine=backend)

@@ -21,6 +21,7 @@ from repro.runtime.backend import (
     BackendCost,
     BackendSpec,
     BackendTelemetry,
+    PlanTelemetry,
     SoftmaxBackend,
     SoftmaxResult,
     UnknownBackendError,
@@ -43,6 +44,7 @@ __all__ = [
     "BackendCost",
     "BackendSpec",
     "BackendTelemetry",
+    "PlanTelemetry",
     "SoftmaxBackend",
     "SoftmaxResult",
     "UnknownBackendError",

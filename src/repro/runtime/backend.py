@@ -47,10 +47,11 @@ from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.ap.processor2d import AssociativeProcessor2D
+from repro.ap.engine import canonical_engine_name
 from repro.gpu.softmax_model import GpuSoftmaxModel, KernelCost
 from repro.gpu.spec import GPUS, GpuSpec
 from repro.mapping.cluster import ApCluster
+from repro.mapping.plan import PlanTelemetry
 from repro.mapping.softmap import MappingCost, SoftmAPMapping
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
 from repro.softmax.integer_softmax import IntegerSoftmax
@@ -65,6 +66,7 @@ __all__ = [
     "BackendCost",
     "BackendSpec",
     "BackendTelemetry",
+    "PlanTelemetry",
     "SoftmaxBackend",
     "SoftmaxResult",
     "UnknownBackendError",
@@ -182,12 +184,19 @@ class SoftmaxResult:
         has a cycle notion (``None`` otherwise).
     backend:
         Canonical name of the backend that produced the result.
+    plan:
+        Plan-level execution telemetry
+        (:class:`~repro.mapping.plan.PlanTelemetry`) for backends that run
+        compiled plans: whether the pass executed fused, on which engine,
+        and how the planner tiled the workload.  ``None`` for backends
+        without a plan layer.
     """
 
     probabilities: np.ndarray
     cost: Optional[BackendCost] = None
     cycles: Optional[float] = None
     backend: str = ""
+    plan: Optional[PlanTelemetry] = None
 
 
 @dataclass(frozen=True)
@@ -230,7 +239,9 @@ class BackendSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "name", canonical_backend_name(self.name))
         if self.engine is not None:
-            check_in_choices(self.engine, AssociativeProcessor2D.BACKENDS, "engine")
+            # Eager, with a "did you mean" suggestion — an engine typo fails
+            # at spec construction, not deep inside an execution pass.
+            canonical_engine_name(self.engine)
 
 
 @dataclass
@@ -487,10 +498,13 @@ class ApRowBackend(_ApBackendBase):
 class ApBatchBackend(_ApBackendBase):
     """``ap-batch`` — the whole ``(rows, seq)`` tensor stacked in one AP.
 
-    One :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`
-    call executes every vector word-parallel: the cycle count is that of a
-    single pass while energy scales with the number of stacked vectors
-    (more active rows) — the same accounting the cluster uses.
+    One compiled-plan execution
+    (:meth:`~repro.mapping.plan.ExecutionPlan.execute`, reached through
+    :meth:`~repro.mapping.softmap.SoftmAPMapping.execute_functional_batch`)
+    runs every vector word-parallel in a single fused pass: the cycle
+    count is that of a single pass while energy scales with the number of
+    stacked vectors (more active rows) — the same accounting the cluster
+    uses.  The result carries the plan telemetry of the pass.
     """
 
     def _run(self, scores, lengths):
@@ -500,6 +514,7 @@ class ApBatchBackend(_ApBackendBase):
             rows, valid_lengths=lengths
         )
         cost = self._pass_cost(rows.shape[1])
+        plan = self._mapping.plan(sequence_length=rows.shape[1])
         return SoftmaxResult(
             probabilities=probabilities.reshape(scores.shape),
             cost=BackendCost(
@@ -509,6 +524,14 @@ class ApBatchBackend(_ApBackendBase):
             ),
             cycles=cost.cycles,
             backend=self.spec.name,
+            plan=PlanTelemetry(
+                fused=self.engine == "vectorized" and plan.packable,
+                engine=self.engine,
+                passes=1,
+                vectors=rows.shape[0],
+                segment_length=rows.shape[1],
+                words_per_pass=(rows.shape[0] * rows.shape[1],),
+            ),
         )
 
 
@@ -575,11 +598,17 @@ class ApClusterBackend(_BackendBase):
     def _run(self, scores, lengths):
         heads = self.cluster.num_heads
         if scores.ndim == 1:
-            if scores.size > self.cluster.sequence_length:
+            if (
+                scores.size > self.cluster.sequence_length
+                and self.cluster.pass_row_budget is None
+            ):
                 raise ValueError(
                     f"sequence length {scores.size} exceeds the provisioned "
                     f"maximum {self.cluster.sequence_length}"
                 )
+            # Planner first: an over-budget vector must be rejected before
+            # any execution, exactly like the fused 2-D/3-D paths.
+            telemetry = self.cluster.plan_telemetry(1, scores.size, self.engine)
             probabilities = self.cluster.head_mapping(0).execute_functional_batch(
                 scores[None, :], backend=self.engine, valid_lengths=lengths
             )[0]
@@ -595,6 +624,7 @@ class ApClusterBackend(_BackendBase):
                 ),
                 cycles=per_head.cycles,
                 backend=self.spec.name,
+                plan=telemetry,
             )
         elif scores.ndim == 2:
             if scores.shape[0] % heads != 0:
@@ -627,18 +657,33 @@ class ApClusterBackend(_BackendBase):
                 "ap-cluster accepts a 1-D vector, a head-major (rows, seq) "
                 "matrix or a (batch, heads, seq) tensor"
             )
-        cluster_cost = self._cluster_cost(scores.shape[-1])
+        sequence_length = scores.shape[-1]
+        cluster_cost = self._cluster_cost(sequence_length)
+        telemetry = self.cluster.plan_telemetry(
+            heads * batch, sequence_length, self.engine
+        )
+        if telemetry.passes > 1:
+            # A tiled workload flows through the two-stage load/compute
+            # pipeline: the makespan of the pass list is the latency.
+            latency = self.cluster.schedule(
+                telemetry.passes, sequence_length=sequence_length
+            ).latency_s
+            cycles = cluster_cost.cycles * telemetry.passes
+        else:
+            latency = cluster_cost.latency_s
+            cycles = cluster_cost.cycles
         return SoftmaxResult(
             probabilities=probabilities,
             cost=BackendCost(
-                latency_s=cluster_cost.latency_s,
+                latency_s=latency,
                 # Stacking `batch` vectors per head scales the active rows
                 # (energy) but not the cycle count — see ApCluster.cost.
                 energy_j=cluster_cost.energy_j * batch,
                 area_mm2=cluster_cost.area_mm2,
             ),
-            cycles=cluster_cost.cycles,
+            cycles=cycles,
             backend=self.spec.name,
+            plan=telemetry,
         )
 
 

@@ -6,10 +6,11 @@ Commands
     Registered experiments (one per table/figure of the paper).
 ``repro backends``
     Softmax execution backends understood by ``resolve_backend``.
-``repro run <name> [--backend B] [--fast] [--set k=v ...] [--json PATH]``
+``repro run <name> [--backend B] [--fast] [--set k=v ...] [--json PATH] [--out PATH]``
     Regenerate one artefact: prints the rendered table and optionally
-    writes the JSON round-trippable result (``Experiment.to_dict`` plus the
-    config it was produced with).
+    writes JSON — ``--json`` the full artifact (``Experiment.to_dict``
+    wrapped with schema + config), ``--out`` the bare ``to_dict()``
+    result payload.
 
 Examples
 --------
@@ -88,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the JSON artifact (schema, experiment, config, result)",
     )
     run.add_argument(
+        "--out",
+        dest="out_path",
+        metavar="PATH",
+        help="write the bare experiment result (Experiment.to_dict JSON, "
+        "no artifact envelope) to a file",
+    )
+    run.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the rendered table (useful with --json)",
@@ -146,6 +154,12 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     result = experiment.run(config)
     if not args.quiet:
         print(experiment.render(result), file=out)
+    if args.out_path:
+        with open(args.out_path, "w", encoding="utf-8") as handle:
+            json.dump(experiment.to_dict(result), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.out_path}", file=out)
     if args.json_path:
         artifact = {
             "schema": ARTIFACT_SCHEMA,

@@ -95,6 +95,35 @@ class TestInProcess:
         assert main(["run", "fidelity", "--fast", "--quiet"]) == 0
         assert capsys.readouterr().out == ""
 
+    def test_out_writes_bare_to_dict_payload(self, capsys, tmp_path):
+        """--out writes exactly Experiment.to_dict(result) (no artifact
+        envelope) and round-trips through from_dict."""
+        from repro.runtime import get_experiment
+
+        out_file = tmp_path / "table1-result.json"
+        assert main(["run", "table1", "--quiet", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert set(payload) == {"experiment", "rows"}  # bare to_dict shape
+        assert payload["experiment"] == "table1"
+        experiment = get_experiment("table1")
+        rendered = experiment.render(experiment.from_dict(payload))
+        assert "Table I" in rendered
+
+    def test_out_and_json_coexist(self, capsys, tmp_path):
+        out_file = tmp_path / "result.json"
+        artifact = tmp_path / "artifact.json"
+        code = main([
+            "run", "fidelity", "--fast",
+            "--out", str(out_file), "--json", str(artifact),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert f"wrote {out_file}" in stdout
+        assert f"wrote {artifact}" in stdout
+        bare = json.loads(out_file.read_text())
+        wrapped = json.loads(artifact.read_text())
+        assert wrapped["result"] == bare  # envelope wraps the same payload
+
     def test_unknown_experiment_exits_2_with_suggestion(self, capsys):
         assert main(["run", "tabel1"]) == 2
         assert "did you mean 'table1'" in capsys.readouterr().err
