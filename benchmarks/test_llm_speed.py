@@ -1,0 +1,76 @@
+"""Batched-inference benchmark: the LLM fast path's pinned sweep speedup.
+
+The acceptance workload is the Tables III/IV perplexity sweep on the
+trained substitute model with the ``integer`` attention-softmax backend:
+every precision configuration evaluated through the graph-free batched
+``model.infer`` path (stacked-head attention, ``max_batch`` segments per
+forward call, one head-major softmax call per layer) versus the **seed**
+implementation — the per-segment autograd-forward loop with the
+per-distinct-causal-length integer grouping.  Single worker on both sides,
+same machine, same trained weights; training time is excluded.  The two
+paths must produce **bit-identical** perplexities and the batched path
+must be at least **5x** faster end to end.
+
+This module joins ``test_plan_fusion.py`` in the CI ``benchmark-smoke``
+job: it runs without ``--runslow`` and, when ``REPRO_PERF_DIR`` is set,
+writes the measured timings to ``BENCH_llm_speed.json`` so the inference
+speedup trajectory can be tracked across commits next to the plan-fusion
+timings.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.runtime import get_experiment
+
+#: Pinned wall-clock floor of the batched sweep over the seed loop.
+SWEEP_SPEEDUP_FLOOR = 5.0
+
+
+def _emit_perf_artifact(report) -> None:
+    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "llm-speed",
+        "workload": {
+            "backend": report.backend,
+            "configurations": report.configurations,
+            "segments": report.segments,
+            "segment_length": report.segment_length,
+            "max_batch": report.max_batch,
+        },
+        "bit_identical": report.bit_identical,
+        "batched_seconds": report.batched_seconds,
+        "seed_loop_seconds": report.loop_seconds,
+        "sweep_speedup": report.speedup,
+        "pinned_floor": SWEEP_SPEEDUP_FLOOR,
+    }
+    with open(path / "BENCH_llm_speed.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_batched_inference_sweep_beats_seed_loop(benchmark):
+    """Pin: batched sweep >= 5x over the seed loop, bit-identical."""
+    experiment = get_experiment("llm-speed")
+    report = benchmark.pedantic(
+        experiment.run,
+        args=({"m_values": (4, 6, 8), "n_values": (8, 16), "training_steps": 120},),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(experiment.render(report))
+    _emit_perf_artifact(report)
+    assert report.bit_identical, (
+        "batched inference path diverged from the seed per-segment loop"
+    )
+    assert report.speedup >= SWEEP_SPEEDUP_FLOOR, (
+        f"batched sweep only {report.speedup:.1f}x faster than the seed "
+        f"loop (floor {SWEEP_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -37,13 +37,16 @@ from repro.experiments.table2_runtime_formulas import (
 )
 from repro.experiments.table3_4_perplexity import (
     ClusterParityExperiment,
+    InferenceSpeedExperiment,
     FidelityExperiment,
     PerplexityExperiment,
     run_ap_cluster_equivalence,
+    run_inference_speed,
     run_perplexity_sweep,
     run_softmax_fidelity_sweep,
     render_cluster_equivalence,
     render_fidelity_table,
+    render_inference_speed,
     render_perplexity_table,
 )
 from repro.experiments.normalized_comparison import (
@@ -73,13 +76,16 @@ __all__ = [
     "run_table2",
     "render_table2",
     "ClusterParityExperiment",
+    "InferenceSpeedExperiment",
     "FidelityExperiment",
     "PerplexityExperiment",
     "run_ap_cluster_equivalence",
+    "run_inference_speed",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
     "render_cluster_equivalence",
     "render_fidelity_table",
+    "render_inference_speed",
     "render_perplexity_table",
     "ComparisonPoint",
     "NormalizedComparisonExperiment",

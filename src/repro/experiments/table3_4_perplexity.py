@@ -28,15 +28,16 @@ speedup over both loops.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.llm.config import LlamaConfig
 from repro.llm.dataset import SyntheticCorpus, make_corpus
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
-from repro.llm.perplexity import evaluate_perplexity
+from repro.llm.perplexity import INFERENCE_PATHS, evaluate_perplexity
 from repro.llm.trainer import Trainer
 from repro.mapping.cluster import ApCluster
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
@@ -46,21 +47,26 @@ from repro.softmax.integer_softmax import IntegerSoftmax
 from repro.softmax.metrics import kl_divergence
 from repro.softmax.reference import softmax
 from repro.utils.tables import TextTable
+from repro.utils.validation import check_in_choices, check_positive_int
 
 __all__ = [
     "PerplexityPoint",
     "FidelityPoint",
     "ClusterEquivalenceReport",
+    "InferenceSpeedReport",
     "PerplexityExperiment",
     "FidelityExperiment",
     "ClusterParityExperiment",
+    "InferenceSpeedExperiment",
     "train_reference_model",
     "run_perplexity_sweep",
     "run_softmax_fidelity_sweep",
     "run_ap_cluster_equivalence",
+    "run_inference_speed",
     "render_perplexity_table",
     "render_fidelity_table",
     "render_cluster_equivalence",
+    "render_inference_speed",
     "PERPLEXITY_M_VALUES",
     "PERPLEXITY_N_VALUES",
     "PRECISION_SWEEP_BACKENDS",
@@ -87,10 +93,17 @@ PERPLEXITY_N_VALUES: Tuple[int, ...] = (8, 12, 16, 20)
 
 @dataclass(frozen=True)
 class PerplexityPoint:
-    """Perplexity of one precision configuration (Tables III/IV analogue)."""
+    """Perplexity of one precision configuration (Tables III/IV analogue).
+
+    ``seconds`` is the wall-clock time of the point's perplexity
+    evaluation (training excluded) — the sweep's per-config telemetry,
+    carried through ``to_dict()`` so the timing trajectory is part of the
+    JSON artifact.
+    """
 
     precision: Optional[PrecisionConfig]  # None = FP baseline
     perplexity: float
+    seconds: float = 0.0
 
     @property
     def label(self) -> str:
@@ -154,6 +167,69 @@ def _sweep_softmax_fn(
     return backend.softmax_fn()
 
 
+def _sweep_point(
+    model: TinyLlamaModel,
+    tokens: np.ndarray,
+    segment: int,
+    precision: PrecisionConfig,
+    softmax_backend: str,
+    inference_path: str,
+    max_batch: Optional[int],
+) -> PerplexityPoint:
+    """Evaluate one precision configuration, with wall-clock telemetry."""
+    softmax_fn = _sweep_softmax_fn(
+        precision, softmax_backend, model.config.num_heads, segment
+    )
+    start = time.perf_counter()
+    perplexity = evaluate_perplexity(
+        model, tokens, segment, softmax_fn=softmax_fn,
+        inference_path=inference_path, max_batch=max_batch,
+    )
+    return PerplexityPoint(
+        precision=precision,
+        perplexity=perplexity,
+        seconds=time.perf_counter() - start,
+    )
+
+
+#: Per-process sweep context, installed by :func:`_init_sweep_worker`.
+_WORKER_CONTEXT: Optional[Dict[str, Any]] = None
+
+
+def _init_sweep_worker(payload: Dict[str, Any]) -> None:
+    """Pool initialiser: rebuild the trained model once per worker process.
+
+    The trained weights travel as a :meth:`TinyLlamaModel.state_dict`
+    snapshot serialised **once per worker** (initializer arguments, not
+    per-task pickling; no per-worker retraining); every subsequent task in
+    the process reuses the rebuilt model.
+    """
+    global _WORKER_CONTEXT
+    model = TinyLlamaModel(payload["config"], seed=0)
+    model.load_state_dict(payload["state"])
+    # The executor keeps the initargs payload alive for the worker's whole
+    # lifetime; drop the serialised snapshot from it so the weights are not
+    # held twice (the rebuilt model is the only copy that matters).
+    payload.pop("state")
+    _WORKER_CONTEXT = dict(payload, model=model)
+
+
+def _sweep_point_worker(precision: PrecisionConfig) -> PerplexityPoint:
+    """One sweep configuration in a worker process (see the initialiser)."""
+    context = _WORKER_CONTEXT
+    if context is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("sweep worker used without _init_sweep_worker")
+    return _sweep_point(
+        context["model"],
+        context["tokens"],
+        context["segment"],
+        precision,
+        context["softmax_backend"],
+        context["inference_path"],
+        context["max_batch"],
+    )
+
+
 def run_perplexity_sweep(
     model: Optional[TinyLlamaModel] = None,
     corpus: Optional[SyntheticCorpus] = None,
@@ -164,6 +240,9 @@ def run_perplexity_sweep(
     training_steps: int = 400,
     seed: int = 0,
     softmax_backend: str = "software",
+    inference_path: str = "batched",
+    max_batch: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> List[PerplexityPoint]:
     """End-to-end perplexity for the precision grid (plus the FP baseline).
 
@@ -174,6 +253,16 @@ def run_perplexity_sweep(
     apply the Barrett correction step by default while the AP dataflow uses
     the raw quotient, so the two families can differ in the last fixed-point
     digit of individual probabilities.
+
+    ``inference_path`` selects the evaluation path per point (``"batched"``
+    — the graph-free ``model.infer`` fast path, default — or ``"loop"``,
+    the seed per-segment baseline; both produce bit-identical
+    perplexities).  ``workers`` fans the independent ``(Δ, M, N)``
+    configurations across a ``concurrent.futures`` process pool: the
+    trained weights are serialised once (``state_dict``) and shipped to
+    each worker, so the points — including the per-point ``seconds``
+    telemetry — come back in the same deterministic order as the serial
+    sweep, with identical floats.  ``None``/``1`` runs serially.
     """
     # Validate eagerly (single authority, with a did-you-mean for typos)
     # before spending time training the reference model; only backends that
@@ -186,13 +275,22 @@ def run_perplexity_sweep(
             f"baseline on every row; choose one of "
             f"{', '.join(PRECISION_SWEEP_BACKENDS)} (or a legacy alias)"
         )
+    check_in_choices(inference_path, INFERENCE_PATHS, "inference_path")
+    if workers is not None:
+        check_positive_int(workers, "workers")
     if model is None or corpus is None:
         model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
     segment = model.config.max_context - 16
+    tokens = corpus.validation_tokens
+    start = time.perf_counter()
+    fp_perplexity = evaluate_perplexity(
+        model, tokens, segment, inference_path=inference_path, max_batch=max_batch
+    )
     points = [
         PerplexityPoint(
             precision=None,
-            perplexity=evaluate_perplexity(model, corpus.validation_tokens, segment),
+            perplexity=fp_perplexity,
+            seconds=time.perf_counter() - start,
         )
     ]
     configurations: List[PrecisionConfig] = []
@@ -202,16 +300,34 @@ def run_perplexity_sweep(
                 configurations.append(PrecisionConfig(m, delta, n))
     if include_m4:
         configurations.append(PrecisionConfig(4, 0, 16))
-    for config in configurations:
-        perplexity = evaluate_perplexity(
-            model,
-            corpus.validation_tokens,
-            segment,
-            softmax_fn=_sweep_softmax_fn(
-                config, softmax_backend, model.config.num_heads, segment
-            ),
-        )
-        points.append(PerplexityPoint(precision=config, perplexity=perplexity))
+    if workers is not None and workers > 1 and len(configurations) > 1:
+        payload = {
+            "config": model.config,
+            "state": model.state_dict(),
+            "tokens": tokens,
+            "segment": segment,
+            "softmax_backend": softmax_backend,
+            "inference_path": inference_path,
+            "max_batch": max_batch,
+        }
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(configurations)),
+            initializer=_init_sweep_worker,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_sweep_point_worker, config)
+                for config in configurations
+            ]
+            points.extend(future.result() for future in futures)
+    else:
+        for config in configurations:
+            points.append(
+                _sweep_point(
+                    model, tokens, segment, config, softmax_backend,
+                    inference_path, max_batch,
+                )
+            )
     return points
 
 
@@ -313,6 +429,161 @@ def run_ap_cluster_equivalence(
     )
 
 
+@dataclass(frozen=True)
+class InferenceSpeedReport:
+    """Speed and bit-exactness of the batched inference path vs the seed.
+
+    The same trained model and precision grid are evaluated twice on the
+    same machine: through the graph-free batched ``model.infer`` path (this
+    PR's fast path, ``max_batch`` segments per forward call), and through
+    the **seed implementation** — the per-segment autograd-forward loop
+    with, for the ``integer`` backend, the seed's per-distinct-causal-length
+    grouping loop (the implementation that
+    ``IntegerSoftmax.forward(valid_lengths=...)`` replaced).
+    ``bit_identical`` holds only if every configuration's perplexity is the
+    *same float* on both paths; ``speedup`` is seed seconds over batched
+    seconds — the pinned end-to-end win of the inference path.
+    """
+
+    backend: str
+    configurations: int
+    segments: int
+    segment_length: int
+    max_batch: Optional[int]
+    batched_seconds: float
+    loop_seconds: float
+    bit_identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.loop_seconds / self.batched_seconds
+
+
+class _SeedGroupedIntegerSoftmaxFn:
+    """The seed's batched integer attention softmax, kept as a baseline.
+
+    One :class:`~repro.softmax.integer_softmax.IntegerSoftmax` call per
+    distinct causal prefix length — for a causal ``(rows, seq)`` score
+    matrix that is ``seq`` pipeline invocations per attention call.  This
+    is exactly how ``IntegerBackend`` executed before the masked
+    ``valid_lengths`` core landed; :func:`run_inference_speed` times it
+    (under the seed per-segment forward loop) as the "before" side of the
+    sweep speedup, and the parity suite pins that it remains bit-identical
+    to the masked single call.
+    """
+
+    supports_batch = True
+
+    def __init__(self, precision: PrecisionConfig) -> None:
+        self._softmax = IntegerSoftmax(precision=precision)
+
+    def __call__(
+        self, scores: np.ndarray, valid_lengths: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        scores = np.asarray(scores, dtype=np.float64)
+        rows = scores[None, :] if scores.ndim == 1 else scores
+        if valid_lengths is None:
+            probabilities = self._softmax(rows)
+        else:
+            lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
+            probabilities = np.zeros_like(rows)
+            for length in np.unique(lengths):
+                selected = lengths == length
+                probabilities[selected, :length] = self._softmax(
+                    rows[selected, :length]
+                )
+        return probabilities.reshape(scores.shape)
+
+
+def run_inference_speed(
+    model: Optional[TinyLlamaModel] = None,
+    corpus: Optional[SyntheticCorpus] = None,
+    m_values: Iterable[int] = (6, 8),
+    n_values: Iterable[int] = (8, 16),
+    vcorr_deltas: Iterable[int] = (0,),
+    include_m4: bool = False,
+    training_steps: int = 200,
+    seed: int = 0,
+    softmax_backend: str = "integer",
+    max_batch: Optional[int] = 4,
+) -> InferenceSpeedReport:
+    """Time the perplexity sweep against the seed path (single worker).
+
+    Training happens once, up front, outside both timed runs — the report
+    compares pure evaluation time of the identical precision grid (plus
+    the FP baseline point) on identical weights, which is the fair
+    same-machine comparison ``benchmarks/test_llm_speed.py`` pins.  The
+    baseline side runs ``inference_path="loop"`` with the seed's integer
+    grouping (see :class:`_SeedGroupedIntegerSoftmaxFn`); for non-integer
+    backends the loop baseline uses the backend unchanged.
+    """
+    canonical = canonical_backend_name(softmax_backend)
+    if canonical not in PRECISION_SWEEP_BACKENDS:
+        raise ValueError(
+            f"softmax_backend {softmax_backend!r} ignores the precision "
+            f"grid; choose one of {', '.join(PRECISION_SWEEP_BACKENDS)}"
+        )
+    if model is None or corpus is None:
+        model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
+    segment = model.config.max_context - 16
+    tokens = corpus.validation_tokens
+    configurations: List[PrecisionConfig] = []
+    for delta in vcorr_deltas:
+        for m in m_values:
+            for n in n_values:
+                configurations.append(PrecisionConfig(m, delta, n))
+    if include_m4:
+        configurations.append(PrecisionConfig(4, 0, 16))
+
+    heads = model.config.num_heads
+
+    def batched_fn(config: Optional[PrecisionConfig]) -> Optional[SoftmaxFn]:
+        if config is None:
+            return None
+        return _sweep_softmax_fn(config, softmax_backend, heads, segment)
+
+    def seed_fn(config: Optional[PrecisionConfig]) -> Optional[SoftmaxFn]:
+        if config is None:
+            return None
+        if canonical == "integer":
+            return _SeedGroupedIntegerSoftmaxFn(config)
+        return _sweep_softmax_fn(config, softmax_backend, heads, segment)
+
+    grid: List[Optional[PrecisionConfig]] = [None] + configurations
+    batched_seconds = loop_seconds = 0.0
+    bit_identical = True
+    for config in grid:
+        # Build both callables outside the timed windows: the report is
+        # pure evaluation time, not backend construction (an ap-cluster
+        # spec builds one AP per head plus its compiled plan).
+        fast_fn = batched_fn(config)
+        slow_fn = seed_fn(config)
+        start = time.perf_counter()
+        fast = evaluate_perplexity(
+            model, tokens, segment, softmax_fn=fast_fn,
+            inference_path="batched", max_batch=max_batch,
+        )
+        batched_seconds += time.perf_counter() - start
+        start = time.perf_counter()
+        slow = evaluate_perplexity(
+            model, tokens, segment, softmax_fn=slow_fn,
+            inference_path="loop",
+        )
+        loop_seconds += time.perf_counter() - start
+        bit_identical = bit_identical and fast == slow
+    segments = len(range(0, tokens.shape[0] - 1, segment))
+    return InferenceSpeedReport(
+        backend=canonical,
+        configurations=len(grid),
+        segments=segments,
+        segment_length=segment,
+        max_batch=max_batch,
+        batched_seconds=batched_seconds,
+        loop_seconds=loop_seconds,
+        bit_identical=bool(bit_identical),
+    )
+
+
 def _attention_like_scores(
     rows: int, sequence_length: int, seed: int
 ) -> np.ndarray:
@@ -358,12 +629,12 @@ def run_softmax_fidelity_sweep(
 def render_perplexity_table(points: List[PerplexityPoint]) -> str:
     """Render the perplexity sweep (Tables III/IV analogue)."""
     table = TextTable(
-        ["configuration", "perplexity"],
+        ["configuration", "perplexity", "seconds"],
         title="Tables III/IV — perplexity of the substitute model per precision",
         float_digits=4,
     )
     for point in points:
-        table.add_row([point.label, point.perplexity])
+        table.add_row([point.label, point.perplexity, point.seconds])
     return table.render()
 
 
@@ -399,6 +670,19 @@ def render_cluster_equivalence(report: ClusterEquivalenceReport) -> str:
     )
 
 
+def render_inference_speed(report: InferenceSpeedReport) -> str:
+    """Render the batched-inference speed report."""
+    verdict = "bit-identical" if report.bit_identical else "DIVERGED"
+    return (
+        f"LLM inference speed ({report.configurations} configs x "
+        f"{report.segments} segments x {report.segment_length} tokens, "
+        f"backend {report.backend}): batched {report.batched_seconds:.3f}s "
+        f"(max_batch={report.max_batch}) vs seed per-segment loop "
+        f"{report.loop_seconds:.3f}s -> {report.speedup:.1f}x, "
+        f"perplexities {verdict}"
+    )
+
+
 def _tuple_config(kwargs: dict, *keys: str) -> dict:
     for key in keys:
         if key in kwargs:
@@ -418,6 +702,7 @@ class PerplexityExperiment(Experiment):
     description = "perplexity of the substitute model per precision config"
     row_type = PerplexityPoint
     backend_config_key = "softmax_backend"
+    supports_workers = True
     fast_config = {
         "m_values": (8,),
         "n_values": (16,),
@@ -475,3 +760,32 @@ class ClusterParityExperiment(Experiment):
 
     def render(self, result):
         return render_cluster_equivalence(result)
+
+
+@register("llm-speed")
+class InferenceSpeedExperiment(Experiment):
+    """Registry wrapper: batched-vs-loop inference speed + parity report.
+
+    ``--backend`` selects the replacement attention softmax both timed
+    paths execute (any precision-consuming runtime backend name).
+    """
+
+    title = "Inference"
+    description = "batched inference path speedup vs the per-segment loop"
+    row_type = InferenceSpeedReport
+    scalar_result = True
+    backend_config_key = "softmax_backend"
+    fast_config = {
+        "m_values": (8,),
+        "n_values": (16,),
+        "training_steps": 40,
+    }
+
+    def run(self, config=None):
+        kwargs = _tuple_config(
+            self._config_kwargs(config), "m_values", "n_values", "vcorr_deltas"
+        )
+        return run_inference_speed(**kwargs)
+
+    def render(self, result):
+        return render_inference_speed(result)

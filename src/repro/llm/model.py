@@ -29,7 +29,8 @@ replacement contracts are supported:
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,7 +48,42 @@ from repro.nn.functional import (
     softmax_op,
 )
 
-__all__ = ["TinyLlamaModel", "SoftmaxFn"]
+__all__ = [
+    "TinyLlamaModel",
+    "SoftmaxFn",
+    "StackedAttentionWeights",
+    "causal_batched_softmax",
+]
+
+
+def causal_batched_softmax(
+    stacked: np.ndarray, softmax_fn: "SoftmaxFn"
+) -> np.ndarray:
+    """Apply a batched replacement softmax to stacked causal score blocks.
+
+    ``stacked`` is a head-major ``(blocks * t, t)`` score matrix whose every
+    ``t``-row block is one causal ``(t, t)`` score matrix (row ``i`` attends
+    to keys ``0..i``).  The callable receives the whole matrix plus the
+    tiled per-row causal prefix lengths and the returned probabilities are
+    re-masked with the causal validity pattern — a no-op for a conforming
+    callable, but it guarantees causality regardless of the replacement.
+    This is the single authority for the contract; both the autograd
+    forward and the graph-free inference path dispatch through it.
+    """
+    t = stacked.shape[1]
+    blocks = stacked.shape[0] // t
+    lengths = np.tile(np.arange(1, t + 1, dtype=np.int64), blocks)
+    probabilities = np.asarray(
+        softmax_fn(stacked, valid_lengths=lengths), dtype=np.float64
+    )
+    if probabilities.shape != stacked.shape:
+        raise ValueError(
+            f"batched softmax_fn returned shape {probabilities.shape}, "
+            f"expected {stacked.shape}"
+        )
+    return np.where(
+        np.arange(t)[None, :] < lengths[:, None], probabilities, 0.0
+    )
 
 #: A softmax replacement: maps a score vector (1-D numpy array) to
 #: probabilities of the same length.  Callables carrying the attribute
@@ -56,6 +92,24 @@ __all__ = ["TinyLlamaModel", "SoftmaxFn"]
 #: per row) and return a ``(rows, seq)`` probability matrix with zeros at
 #: the masked positions.
 SoftmaxFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class StackedAttentionWeights:
+    """One layer's attention projections stacked head-major.
+
+    The trainer keeps per-head ``Parameter`` lists (one small matmul per
+    head per projection, which is what the autograd engine differentiates);
+    the inference path consumes the same weights as ``(h, d, hd)`` /
+    ``(h, hd, d)`` stacks so each layer runs four broadcast einsums instead
+    of ``4 * h`` Python-loop matmuls.  Built (and cached) by
+    :meth:`TinyLlamaModel.stacked_attention_weights`.
+    """
+
+    wq: np.ndarray  # (heads, hidden, head_dim)
+    wk: np.ndarray  # (heads, hidden, head_dim)
+    wv: np.ndarray  # (heads, hidden, head_dim)
+    wo: np.ndarray  # (heads, head_dim, hidden)
 
 
 class TinyLlamaModel:
@@ -99,6 +153,12 @@ class TinyLlamaModel:
             self.layers.append(layer)
         self.final_norm = Parameter(np.ones(d))
         self.output_head = init(d, v)
+        # Inference-path caches: the (t, t) causal mask / position ids per
+        # sequence length, and the per-layer stacked-head attention weights
+        # (validated against the constituent Parameter versions).
+        self._mask_cache: Dict[int, np.ndarray] = {}
+        self._position_cache: Dict[int, np.ndarray] = {}
+        self._stacked_cache: Dict[int, Tuple[Tuple[int, ...], StackedAttentionWeights]] = {}
 
     # ------------------------------------------------------------------ #
     # Parameters                                                           #
@@ -121,6 +181,114 @@ class TinyLlamaModel:
     def parameter_count(self) -> int:
         """Total number of scalar parameters."""
         return int(sum(p.data.size for p in self.parameters()))
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat ``name -> weight array`` snapshot of every parameter.
+
+        The arrays are copies, so a snapshot is stable under further
+        training.  Together with :meth:`load_state_dict` this is how the
+        parallel sweep runner ships trained weights to worker processes
+        without re-running the trainer per worker.
+        """
+        state: Dict[str, np.ndarray] = {
+            "token_embedding": self.token_embedding.data.copy(),
+            "position_embedding": self.position_embedding.data.copy(),
+            "final_norm": self.final_norm.data.copy(),
+            "output_head": self.output_head.data.copy(),
+        }
+        for index, layer in enumerate(self.layers):
+            for key in ("attn_norm", "ffn_norm", "w_gate", "w_up", "w_down"):
+                state[f"layers.{index}.{key}"] = layer[key].data.copy()
+            for key in ("wq", "wk", "wv", "wo"):
+                for head, parameter in enumerate(layer[key]):
+                    state[f"layers.{index}.{key}.{head}"] = parameter.data.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load a :meth:`state_dict` snapshot (shapes must match).
+
+        Every write is an assignment through ``Parameter.data``, so the
+        stacked-weight cache invalidates itself via the version counters.
+        """
+        def assign(parameter: Parameter, name: str) -> None:
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"state entry {name!r} has shape {value.shape}, "
+                    f"expected {parameter.data.shape}"
+                )
+            parameter.data = value
+
+        assign(self.token_embedding, "token_embedding")
+        assign(self.position_embedding, "position_embedding")
+        assign(self.final_norm, "final_norm")
+        assign(self.output_head, "output_head")
+        for index, layer in enumerate(self.layers):
+            for key in ("attn_norm", "ffn_norm", "w_gate", "w_up", "w_down"):
+                assign(layer[key], f"layers.{index}.{key}")
+            for key in ("wq", "wk", "wv", "wo"):
+                for head, parameter in enumerate(layer[key]):
+                    assign(parameter, f"layers.{index}.{key}.{head}")
+
+    # ------------------------------------------------------------------ #
+    # Inference-path caches                                                #
+    # ------------------------------------------------------------------ #
+    def causal_mask(self, sequence_length: int) -> np.ndarray:
+        """The additive ``(t, t)`` causal mask, cached per sequence length.
+
+        ``forward`` used to reallocate ``np.triu(np.full((t, t), -1e30))``
+        on every call — every segment of every sweep configuration.  The
+        cached array is marked read-only; it is only ever *added* to score
+        tensors.
+        """
+        mask = self._mask_cache.get(sequence_length)
+        if mask is None:
+            mask = np.triu(np.full((sequence_length, sequence_length), -1e30), k=1)
+            mask.flags.writeable = False
+            self._mask_cache[sequence_length] = mask
+        return mask
+
+    def position_ids(self, sequence_length: int) -> np.ndarray:
+        """``arange(t)`` position ids, cached per sequence length."""
+        positions = self._position_cache.get(sequence_length)
+        if positions is None:
+            positions = np.arange(sequence_length)
+            positions.flags.writeable = False
+            self._position_cache[sequence_length] = positions
+        return positions
+
+    def stacked_attention_weights(self, layer_index: int) -> StackedAttentionWeights:
+        """Layer ``layer_index``'s attention weights stacked head-major.
+
+        The stacks are cached on the model and validated against the
+        constituent :class:`~repro.nn.autograd.Parameter` version counters,
+        so any optimiser step (an assignment through ``Parameter.data``)
+        invalidates them automatically.  In-place *slice* surgery on a
+        weight (``p.data[0] = ...``) bypasses the counters — call
+        :meth:`invalidate_inference_cache` afterwards.
+        """
+        layer = self.layers[layer_index]
+        versions = tuple(
+            p.version for key in ("wq", "wk", "wv", "wo") for p in layer[key]
+        )
+        cached = self._stacked_cache.get(layer_index)
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        stacks = StackedAttentionWeights(
+            wq=np.stack([p.data for p in layer["wq"]]),
+            wk=np.stack([p.data for p in layer["wk"]]),
+            wv=np.stack([p.data for p in layer["wv"]]),
+            wo=np.stack([p.data for p in layer["wo"]]),
+        )
+        self._stacked_cache[layer_index] = (versions, stacks)
+        return stacks
+
+    def invalidate_inference_cache(self) -> None:
+        """Drop the stacked-weight cache (after in-place weight surgery).
+
+        The mask/position caches depend only on shapes and never go stale.
+        """
+        self._stacked_cache.clear()
 
     # ------------------------------------------------------------------ #
     # Forward                                                              #
@@ -167,10 +335,10 @@ class TinyLlamaModel:
             raise ValueError(
                 f"sequence of length {t} exceeds max context {self.config.max_context}"
             )
-        causal_mask = np.triu(np.full((t, t), -1e30), k=1)
+        causal_mask = self.causal_mask(t)
         scale_factor = 1.0 / np.sqrt(self.config.head_dim)
 
-        positions = np.arange(t)
+        positions = self.position_ids(t)
         x = add(
             embedding(self.token_embedding, tokens),
             embedding(self.position_embedding, positions),
@@ -193,6 +361,32 @@ class TinyLlamaModel:
             raise ValueError("need at least two tokens to form a prediction target")
         logits = self.forward(tokens[:-1], softmax_fn=softmax_fn, backend=backend)
         return cross_entropy(logits, tokens[1:])
+
+    def infer(
+        self,
+        tokens: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+        softmax_fn: Optional[SoftmaxFn] = None,
+        backend: Optional[object] = None,
+    ) -> np.ndarray:
+        """Graph-free batched next-token logits (the fast inference path).
+
+        Accepts a ``(B, T)`` token batch (or a single ``(T,)`` sequence)
+        and returns plain float64 logits of shape ``(B, T, vocab)`` (or
+        ``(T, vocab)``), bit-identical to :meth:`forward` on each segment
+        — see :func:`repro.llm.infer.infer` for the full contract,
+        including ragged segments via ``valid_lengths``.
+        """
+        # Imported lazily: repro.llm.infer imports this module's types.
+        from repro.llm.infer import infer
+
+        return infer(
+            self,
+            tokens,
+            valid_lengths=valid_lengths,
+            softmax_fn=softmax_fn,
+            backend=backend,
+        )
 
     # ------------------------------------------------------------------ #
     # Blocks                                                               #
@@ -269,27 +463,13 @@ class TinyLlamaModel:
         """Apply a batched replacement softmax to every head in one call.
 
         The heads' ``(T, T)`` score matrices are stacked head-major into one
-        ``(heads * T, T)`` matrix and handed to the callable together with
-        the per-row causal prefix lengths (row ``i`` of every head attends
-        to keys ``0..i``).  The returned probabilities are re-masked with
-        the causal validity pattern — a no-op for a conforming callable,
-        but it guarantees causality regardless of the replacement.
+        ``(heads * T, T)`` matrix and dispatched through
+        :func:`causal_batched_softmax` (the shared contract authority).
         """
         t = score_matrices[0].shape[0]
         heads = len(score_matrices)
         stacked = np.concatenate(score_matrices, axis=0)
-        lengths = np.tile(np.arange(1, t + 1, dtype=np.int64), heads)
-        probabilities = np.asarray(
-            softmax_fn(stacked, valid_lengths=lengths), dtype=np.float64
-        )
-        if probabilities.shape != stacked.shape:
-            raise ValueError(
-                f"batched softmax_fn returned shape {probabilities.shape}, "
-                f"expected {stacked.shape}"
-            )
-        probabilities = np.where(
-            np.arange(t)[None, :] < lengths[:, None], probabilities, 0.0
-        )
+        probabilities = causal_batched_softmax(stacked, softmax_fn)
         return [
             Tensor(probabilities[head * t : (head + 1) * t]) for head in range(heads)
         ]

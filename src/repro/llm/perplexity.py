@@ -6,26 +6,39 @@ segment to the model, and report the exponentiated average next-token
 negative log-likelihood.  :func:`evaluate_perplexity` follows that protocol
 on the synthetic corpus.
 
+Since the fast inference path (:mod:`repro.llm.infer`) landed, the
+evaluation runs **batched** by default: every non-overlapping segment is
+evaluated in one (or a few, when ``max_batch`` caps the batch) graph-free
+``model.infer`` calls instead of a per-segment Python loop over the
+autograd forward.  Each decoder layer then issues a single head-major
+``(B*h*T, T)`` replacement-softmax call covering all segments, which is
+the row space the fused AP-cluster plan shards in one pass.  The result is
+bit-identical to the seed per-segment loop — kept reachable via
+``inference_path="loop"`` and pinned by ``tests/llm/test_infer.py``.
+
 The replacement attention softmax is selected through the unified runtime
 API: pass ``backend=`` a name ("integer", "ap-cluster", ...), a
 :class:`~repro.runtime.backend.BackendSpec`, or a resolved
 :class:`~repro.runtime.backend.SoftmaxBackend` — the model's head count and
 context width are filled in automatically.  The older ``softmax_fn``
 argument (a raw callable) remains supported, and
-:func:`integer_softmax_fn` / :func:`ap_cluster_softmax_fn` are kept as thin
-shims over :func:`~repro.runtime.backend.resolve_backend` for existing
-callers.
+:func:`integer_softmax_fn` / :func:`ap_cluster_softmax_fn` are kept as
+*deprecated* thin shims over
+:func:`~repro.runtime.backend.resolve_backend` for existing callers (they
+emit :class:`DeprecationWarning`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import warnings
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.ap.engine import canonical_engine_name
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
 from repro.nn.autograd import no_grad
+from repro.nn.functional import log_softmax_forward
 from repro.quant.precision import PrecisionConfig
 from repro.runtime.backend import (
     BackendSpec,
@@ -33,12 +46,22 @@ from repro.runtime.backend import (
     resolve_backend,
     resolve_model_backend,
 )
-from repro.utils.validation import check_positive_int
+from repro.utils.validation import check_in_choices, check_positive_int
 
-__all__ = ["evaluate_perplexity", "integer_softmax_fn", "ap_cluster_softmax_fn"]
+__all__ = [
+    "evaluate_perplexity",
+    "integer_softmax_fn",
+    "ap_cluster_softmax_fn",
+    "INFERENCE_PATHS",
+]
 
 #: Anything :func:`evaluate_perplexity`'s ``backend`` argument accepts.
 BackendLike = Union[str, BackendSpec, SoftmaxBackend]
+
+#: Execution paths of :func:`evaluate_perplexity`: ``"batched"`` — the
+#: graph-free ``model.infer`` fast path (default); ``"loop"`` — the seed
+#: per-segment autograd-forward loop, kept as the parity baseline.
+INFERENCE_PATHS: Tuple[str, ...] = ("batched", "loop")
 
 
 def integer_softmax_fn(
@@ -53,6 +76,13 @@ def integer_softmax_fn(
     Prefer ``evaluate_perplexity(..., backend="integer")`` or
     :func:`~repro.runtime.backend.resolve_backend` directly.
     """
+    warnings.warn(
+        "integer_softmax_fn is deprecated; use "
+        "evaluate_perplexity(..., backend='integer') or "
+        "resolve_backend('integer', ...).softmax_fn() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     backend = resolve_backend("integer", precision=precision, options=kwargs)
     if batched:
         return backend.softmax_fn()
@@ -82,6 +112,13 @@ def ap_cluster_softmax_fn(
     eagerly with a "did you mean" suggestion.  Prefer
     ``evaluate_perplexity(..., backend="ap-cluster")``.
     """
+    warnings.warn(
+        "ap_cluster_softmax_fn is deprecated; use "
+        "evaluate_perplexity(..., backend='ap-cluster') or "
+        "resolve_backend('ap-cluster', ...).softmax_fn() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return resolve_backend(
         "ap-cluster",
         num_heads=num_heads,
@@ -92,12 +129,67 @@ def ap_cluster_softmax_fn(
     ).softmax_fn()
 
 
+def _evaluation_segments(
+    tokens: np.ndarray, segment_length: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """The paper-protocol ``(inputs, targets)`` pairs, in stream order."""
+    segments: List[Tuple[np.ndarray, np.ndarray]] = []
+    for start in range(0, tokens.shape[0] - 1, segment_length):
+        segment = tokens[start : start + segment_length + 1]
+        if segment.shape[0] < 2:
+            break
+        segments.append((segment[:-1], segment[1:]))
+    return segments
+
+
+def _batched_log_likelihood(
+    model: TinyLlamaModel,
+    segments: List[Tuple[np.ndarray, np.ndarray]],
+    softmax_fn: Optional[SoftmaxFn],
+    max_batch: Optional[int],
+) -> Tuple[float, int]:
+    """Total log-likelihood over ``segments`` via the batched infer path.
+
+    Segments are batched together (``max_batch`` per ``model.infer`` call;
+    a ragged tail rides along via ``valid_lengths``, which ``infer``
+    evaluates at its natural width) and the per-segment sums are then
+    accumulated in stream order, so the floating-point accumulation — and
+    therefore the perplexity — is bit-identical to the seed loop.
+    """
+    total_log_likelihood = 0.0
+    total_predictions = 0
+    step = max_batch or len(segments)
+    for chunk_start in range(0, len(segments), step):
+        chunk = segments[chunk_start : chunk_start + step]
+        lengths = np.array([inputs.shape[0] for inputs, _ in chunk], dtype=np.int64)
+        width = int(lengths.max())
+        batch_tokens = np.zeros((len(chunk), width), dtype=np.int64)
+        for row, (inputs, _) in enumerate(chunk):
+            batch_tokens[row, : inputs.shape[0]] = inputs
+        ragged = bool(np.any(lengths < width))
+        logits = model.infer(
+            batch_tokens,
+            valid_lengths=lengths if ragged else None,
+            softmax_fn=softmax_fn,
+        )
+        log_probs = log_softmax_forward(logits)
+        for row, (inputs, targets) in enumerate(chunk):
+            t = targets.shape[0]
+            total_log_likelihood += float(
+                np.sum(log_probs[row, np.arange(t), targets])
+            )
+            total_predictions += int(t)
+    return total_log_likelihood, total_predictions
+
+
 def evaluate_perplexity(
     model: TinyLlamaModel,
     tokens: np.ndarray,
     segment_length: Optional[int] = None,
     softmax_fn: Optional[SoftmaxFn] = None,
     backend: Optional[BackendLike] = None,
+    inference_path: str = "batched",
+    max_batch: Optional[int] = None,
 ) -> float:
     """Perplexity of ``model`` on ``tokens`` following the paper's protocol.
 
@@ -123,7 +215,25 @@ def evaluate_perplexity(
         the compiled-plan layer — every layer's attention softmax is one
         fused wide pass, and each ``SoftmaxResult`` carries its
         :class:`~repro.mapping.plan.PlanTelemetry`.
+    inference_path:
+        ``"batched"`` (default) evaluates all segments through the
+        graph-free :meth:`~repro.llm.model.TinyLlamaModel.infer` fast path
+        — one forward call per ``max_batch`` segments, one replacement-
+        softmax call per layer per batch; ``"loop"`` is the seed
+        per-segment autograd-forward loop.  The two are bit-identical
+        (same floats, not approximately) for every backend; note a
+        resolved backend's telemetry counts fewer, wider ``run()`` calls
+        on the batched path (plus the causal rows of any padded ragged
+        tail).
+    max_batch:
+        Optional cap on the segments per batched forward call (``None``
+        evaluates all segments in one call).  Ignored by the loop path.
     """
+    # Cheap argument checks first: a typo'd path must not pay for backend
+    # construction (an ap-cluster spec builds one AP per head).
+    check_in_choices(inference_path, INFERENCE_PATHS, "inference_path")
+    if max_batch is not None:
+        check_positive_int(max_batch, "max_batch")
     if backend is not None:
         if softmax_fn is not None:
             raise ValueError("pass either softmax_fn or backend, not both")
@@ -138,21 +248,22 @@ def evaluate_perplexity(
     if tokens.shape[0] < 2:
         raise ValueError("need at least two tokens to evaluate perplexity")
 
+    segments = _evaluation_segments(tokens, segment_length)
     total_log_likelihood = 0.0
     total_predictions = 0
     with no_grad():
-        for start in range(0, tokens.shape[0] - 1, segment_length):
-            segment = tokens[start : start + segment_length + 1]
-            if segment.shape[0] < 2:
-                break
-            logits = model.forward(segment[:-1], softmax_fn=softmax_fn).numpy()
-            shifted = logits - np.max(logits, axis=-1, keepdims=True)
-            log_probs = shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
-            targets = segment[1:]
-            total_log_likelihood += float(
-                np.sum(log_probs[np.arange(targets.shape[0]), targets])
+        if inference_path == "batched":
+            total_log_likelihood, total_predictions = _batched_log_likelihood(
+                model, segments, softmax_fn, max_batch
             )
-            total_predictions += int(targets.shape[0])
+        else:
+            for inputs, targets in segments:
+                logits = model.forward(inputs, softmax_fn=softmax_fn).numpy()
+                log_probs = log_softmax_forward(logits)
+                total_log_likelihood += float(
+                    np.sum(log_probs[np.arange(targets.shape[0]), targets])
+                )
+                total_predictions += int(targets.shape[0])
     if total_predictions == 0:
         raise ValueError("no predictions were made; check the token stream length")
     return float(np.exp(-total_log_likelihood / total_predictions))

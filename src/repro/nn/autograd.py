@@ -164,10 +164,36 @@ class Tensor:
 
 
 class Parameter(Tensor):
-    """A trainable tensor (``requires_grad=True`` and kept out of no_grad)."""
+    """A trainable tensor (``requires_grad=True`` and kept out of no_grad).
+
+    Parameters additionally carry a monotonically increasing :attr:`version`
+    counter, bumped every time ``data`` is (re)assigned.  Every optimiser
+    update goes through an assignment (``p.data -= ...`` is
+    ``p.data = p.data.__isub__(...)``), so consumers caching derived views
+    of the weights — e.g. the stacked-head attention arrays of the LLM
+    inference path — can detect staleness by comparing versions.  In-place
+    *slice* writes (``p.data[i] = v``) bypass the counter; callers doing
+    weight surgery must invalidate such caches explicitly (see
+    ``TinyLlamaModel.invalidate_inference_cache``).
+    """
 
     def __init__(self, data, name: str = "") -> None:
+        self._version = 0
         super().__init__(data, requires_grad=True, name=name)
         # Parameters must keep requires_grad even when created inside a
         # no_grad block (e.g. lazily initialised weights).
         self.requires_grad = True
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        self._data = value
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter of ``data`` (assignment-based writes only)."""
+        return self._version

@@ -5,6 +5,14 @@ closure computes the exact gradients; the test suite checks every operation
 against central finite differences.  Shapes are kept two-dimensional
 (``tokens x features``) — the model loops over batch elements and attention
 heads, which keeps the engine free of reshape/transpose bookkeeping.
+
+The forward *values* of the non-linear operations are factored into plain
+numpy kernels (:func:`rms_norm_forward`, :func:`silu_forward`,
+:func:`softmax_forward`, :func:`log_softmax_forward`) shared with the
+graph-free batched inference path (:mod:`repro.llm.infer`).  Sharing the
+kernels — not re-deriving the formulas — is what makes the inference path
+bit-identical to the autograd forward by construction: both execute the
+exact same sequence of floating-point operations per row.
 """
 
 from __future__ import annotations
@@ -25,7 +33,49 @@ __all__ = [
     "softmax_op",
     "embedding",
     "cross_entropy",
+    "rms_norm_forward",
+    "sigmoid",
+    "silu_forward",
+    "softmax_forward",
+    "log_softmax_forward",
 ]
+
+
+# --------------------------------------------------------------------------- #
+# Forward-only numpy kernels (shared with the inference path)                  #
+# --------------------------------------------------------------------------- #
+def _inv_rms(x: np.ndarray, eps: float) -> np.ndarray:
+    """``1 / sqrt(mean(x**2, axis=-1) + eps)`` with kept dims."""
+    mean_square = np.mean(x ** 2, axis=-1, keepdims=True)
+    return 1.0 / np.sqrt(mean_square + eps)
+
+
+def rms_norm_forward(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Forward value of :func:`rms_norm` on plain arrays (any leading dims)."""
+    return (x * _inv_rms(x, eps)) * weight
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Logistic sigmoid ``1 / (1 + exp(-x))``."""
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def silu_forward(x: np.ndarray) -> np.ndarray:
+    """Forward value of :func:`silu` on a plain array."""
+    return x * sigmoid(x)
+
+
+def softmax_forward(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis on a plain array."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=-1, keepdims=True)
+
+
+def log_softmax_forward(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax over the last axis on a plain array."""
+    shifted = logits - np.max(logits, axis=-1, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
 
 
 def _unbroadcast(gradient: np.ndarray, shape) -> np.ndarray:
@@ -94,8 +144,7 @@ def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
 
     ``y = x / sqrt(mean(x**2, axis=-1) + eps) * weight``
     """
-    mean_square = np.mean(x.data ** 2, axis=-1, keepdims=True)
-    inv_rms = 1.0 / np.sqrt(mean_square + eps)
+    inv_rms = _inv_rms(x.data, eps)
     normalised = x.data * inv_rms
     out = normalised * weight.data
 
@@ -113,11 +162,11 @@ def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
 
 def silu(x: Tensor) -> Tensor:
     """SiLU (swish) activation ``x * sigmoid(x)``."""
-    sigmoid = 1.0 / (1.0 + np.exp(-x.data))
-    out = x.data * sigmoid
+    gate = sigmoid(x.data)
+    out = x.data * gate
 
     def backward(upstream):
-        grad = sigmoid * (1.0 + x.data * (1.0 - sigmoid))
+        grad = gate * (1.0 + x.data * (1.0 - gate))
         return (upstream * grad,)
 
     return Tensor(out, parents=(x,), backward_fn=backward, name="silu")
@@ -130,9 +179,7 @@ def softmax_op(x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
     ``-inf`` above the diagonal) added to the logits before normalisation.
     """
     logits = x.data if mask is None else x.data + mask
-    shifted = logits - np.max(logits, axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    probabilities = exp / np.sum(exp, axis=-1, keepdims=True)
+    probabilities = softmax_forward(logits)
 
     def backward(upstream):
         dot = np.sum(upstream * probabilities, axis=-1, keepdims=True)
@@ -162,8 +209,7 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
         raise ValueError("cross_entropy expects 2-D logits (tokens x vocab)")
     if targets.shape != (logits.data.shape[0],):
         raise ValueError("targets must have one entry per logits row")
-    shifted = logits.data - np.max(logits.data, axis=-1, keepdims=True)
-    log_probs = shifted - np.log(np.sum(np.exp(shifted), axis=-1, keepdims=True))
+    log_probs = log_softmax_forward(logits.data)
     n = logits.data.shape[0]
     loss = -np.mean(log_probs[np.arange(n), targets])
 

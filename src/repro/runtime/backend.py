@@ -392,10 +392,12 @@ class FloatBackend(_BackendBase):
 class IntegerBackend(_BackendBase):
     """``integer`` — the pure-software Algorithm 1 pipeline.
 
-    Rows sharing a causal prefix length are evaluated in one vectorized
-    :class:`~repro.softmax.integer_softmax.IntegerSoftmax` call, which is
-    bit-identical to applying the pipeline row by row (every stage of the
-    integer core is row-wise).
+    Ragged rows are evaluated in **one** masked
+    :class:`~repro.softmax.integer_softmax.IntegerSoftmax` call
+    (``valid_lengths`` support in the integer core), which is bit-identical
+    to applying the pipeline per causal prefix — for a causal ``(rows,
+    seq)`` score matrix this replaces ``seq`` per-distinct-length pipeline
+    invocations with a single vectorized pass.
     """
 
     def __init__(self, spec: BackendSpec) -> None:
@@ -406,15 +408,9 @@ class IntegerBackend(_BackendBase):
 
     def _run(self, scores, lengths):
         rows = self._rows_view(scores)
-        if lengths is None:
-            probabilities = self.integer_softmax(rows)
-        else:
-            probabilities = np.zeros_like(rows)
-            for length in np.unique(lengths):
-                selected = lengths == length
-                probabilities[selected, :length] = self.integer_softmax(
-                    rows[selected, :length]
-                )
+        probabilities = self.integer_softmax.forward(
+            rows, valid_lengths=lengths
+        ).probabilities
         return SoftmaxResult(
             probabilities=probabilities.reshape(scores.shape),
             backend=self.spec.name,

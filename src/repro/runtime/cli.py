@@ -6,7 +6,7 @@ Commands
     Registered experiments (one per table/figure of the paper).
 ``repro backends``
     Softmax execution backends understood by ``resolve_backend``.
-``repro run <name> [--backend B] [--fast] [--set k=v ...] [--json PATH] [--out PATH]``
+``repro run <name> [--backend B] [--fast] [--workers N] [--set k=v ...] [--json PATH] [--out PATH]``
     Regenerate one artefact: prints the rendered table and optionally
     writes JSON — ``--json`` the full artifact (``Experiment.to_dict``
     wrapped with schema + config), ``--out`` the bare ``to_dict()``
@@ -74,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the experiment's reduced-size smoke config",
     )
     run.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="fan the experiment's independent configurations across N "
+        "worker processes (experiments that support it, e.g. table3_4)",
+    )
+    run.add_argument(
         "--set",
         dest="overrides",
         action="append",
@@ -138,6 +145,15 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
     experiment = get_experiment(args.experiment)
     config: Dict[str, Any] = dict(experiment.fast_config) if args.fast else {}
     config.update(_parse_overrides(args.overrides))
+    if args.workers is not None:
+        config["workers"] = args.workers
+    if "workers" in config and not experiment.supports_workers:
+        # Covers both --workers and `--set workers=N`: fail with a clean
+        # message instead of a TypeError deep inside the experiment's run().
+        raise ValueError(
+            f"experiment {experiment.name!r} takes no workers "
+            "(it has no parallel configuration sweep)"
+        )
     if args.backend is not None:
         key = experiment.backend_config_key
         if key is None:

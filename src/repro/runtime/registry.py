@@ -154,6 +154,11 @@ class Experiment:
         than a softmax backend (e.g. Table II's functional AP engine);
         ``None`` means the value is a softmax backend name validated by
         :func:`repro.runtime.backend.canonical_backend_name`.
+    supports_workers:
+        Whether the experiment's ``run()`` accepts a ``workers`` config key
+        (a process-pool fan-out over independent configurations); gates the
+        CLI's ``--workers`` flag so unsupported experiments fail with a
+        clean error instead of a ``TypeError`` deep inside ``run()``.
     """
 
     name: ClassVar[str] = ""
@@ -164,6 +169,7 @@ class Experiment:
     fast_config: ClassVar[Mapping[str, Any]] = {}
     backend_config_key: ClassVar[Optional[str]] = None
     backend_choices: ClassVar[Optional[tuple]] = None
+    supports_workers: ClassVar[bool] = False
 
     # -- to be implemented by subclasses -------------------------------- #
     def run(self, config: Optional[Mapping[str, Any]] = None) -> Any:

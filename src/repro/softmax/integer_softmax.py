@@ -175,14 +175,52 @@ class IntegerSoftmax:
         with the integer-only pipeline."""
         return self.forward(x, axis=axis).probabilities
 
-    def forward(self, x: np.ndarray, axis: int = -1) -> IntegerSoftmaxResult:
-        """Run the full pipeline on floating-point logits ``x``."""
+    def forward(
+        self,
+        x: np.ndarray,
+        axis: int = -1,
+        valid_lengths: Optional[np.ndarray] = None,
+    ) -> IntegerSoftmaxResult:
+        """Run the full pipeline on floating-point logits ``x``.
+
+        ``valid_lengths`` (one prefix length per softmax vector, shaped like
+        the non-``axis`` dimensions or flattened) restricts every vector to
+        its leading prefix — the causal-attention layout.  Masked positions
+        return probability zero, and the valid prefix is **bit-identical**
+        to running :meth:`forward` on the prefix alone: the padded entries
+        are excluded from the stabilising max (set to ``-inf``, they clip to
+        the threshold), their exponential terms are zeroed before the sum
+        accumulator, and the fixed-point division never sees them.  One
+        masked call therefore replaces a per-distinct-length loop — for a
+        causal ``(rows, seq)`` score matrix that is ``seq`` pipeline
+        invocations collapsed into one.
+        """
         x = np.asarray(x, dtype=np.float64)
         if x.ndim == 0:
             raise ValueError("softmax input must have at least one dimension")
         moved = np.moveaxis(x, axis, -1)
+        mask: Optional[np.ndarray] = None
+        if valid_lengths is not None:
+            lengths = np.asarray(valid_lengths, dtype=np.int64)
+            expected = moved.shape[:-1] if moved.ndim > 1 else (1,)
+            if int(np.prod(lengths.shape, dtype=np.int64)) != int(
+                np.prod(expected, dtype=np.int64)
+            ):
+                raise ValueError(
+                    f"valid_lengths must hold one entry per softmax vector "
+                    f"({expected}), got shape {lengths.shape}"
+                )
+            lengths = lengths.reshape(expected)
+            if np.any(lengths < 1) or np.any(lengths > moved.shape[-1]):
+                raise ValueError(
+                    "valid_lengths must lie in 1..seq for every vector"
+                )
+            mask = np.arange(moved.shape[-1]) < lengths[..., None]
+            if moved.ndim == 1:
+                mask = mask[0]
+            moved = np.where(mask, moved, -np.inf)
         quantized = self.quantizer.quantize(moved, stabilise=True)
-        result = self._forward_int(quantized.values)
+        result = self._forward_int(quantized.values, mask=mask)
         probabilities = np.moveaxis(result["probabilities"], -1, axis)
         output_int = np.moveaxis(result["output_int"], -1, axis)
         vapprox = np.moveaxis(result["vapprox"], -1, axis)
@@ -279,7 +317,9 @@ class IntegerSoftmax:
     # ------------------------------------------------------------------ #
     # Integer core                                                        #
     # ------------------------------------------------------------------ #
-    def _forward_int(self, vstable: np.ndarray) -> dict:
+    def _forward_int(
+        self, vstable: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> dict:
         constants = self._constants
         vapprox, vcorr, _ = self.polynomial.iexp_int(vstable, constants)
         vapprox = np.asarray(vapprox, dtype=np.int64)
@@ -296,6 +336,12 @@ class IntegerSoftmax:
             shift = np.asarray(self.polynomial.reducer(constants).quotient(-vstable))
             vapprox = np.asarray(poly, dtype=np.int64) >> shift
         vapprox = np.clip(vapprox, 0, unsigned_max(self.precision.vapprox_bits))
+        if mask is not None:
+            # Masked (padded) positions contribute nothing: their
+            # exponential terms vanish before the accumulator, so each
+            # row's partial-sum (and saturation) sequence is exactly that
+            # of the unpadded prefix.
+            vapprox = np.where(mask, vapprox, 0)
 
         sum_int, saturated_fraction = self._accumulate(vapprox)
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 import repro.experiments as experiments
+from repro.experiments.table3_4_perplexity import train_reference_model
 from repro.quant.precision import PrecisionConfig
 
 
@@ -142,4 +143,44 @@ class TestPerplexityExperiments:
         assert all(np.isfinite(v) for v in values.values())
         # Integer softmax never beats the FP baseline by more than noise.
         assert values["M=8, vcorr=M, N=16"] >= fp - 0.05
+        # Every point carries its wall-clock telemetry.
+        assert all(p.seconds > 0 for p in points)
         assert "perplexity" in experiments.render_perplexity_table(points)
+
+    def test_parallel_sweep_matches_serial_bit_exactly(self):
+        """workers=N must return the same points (same floats, same order)
+        as the serial sweep — the configurations are independent and the
+        trained weights are serialised once to the pool."""
+        model, corpus = train_reference_model(seed=0, training_steps=30)
+        kwargs = dict(
+            model=model, corpus=corpus, m_values=(6, 8), n_values=(16,),
+            include_m4=True,
+        )
+        serial = experiments.run_perplexity_sweep(**kwargs)
+        parallel = experiments.run_perplexity_sweep(workers=2, **kwargs)
+        assert [p.label for p in serial] == [p.label for p in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.perplexity == b.perplexity  # exact float equality
+            assert b.seconds > 0
+
+    def test_sweep_validates_workers_and_inference_path(self):
+        with pytest.raises(ValueError, match="inference_path"):
+            experiments.run_perplexity_sweep(inference_path="batchd")
+        with pytest.raises(ValueError, match="workers"):
+            experiments.run_perplexity_sweep(workers=0)
+
+    def test_inference_speed_report_fast(self):
+        """The llm-speed experiment: bit-identical paths, positive timings,
+        and a render naming the verdict."""
+        model, corpus = train_reference_model(seed=0, training_steps=30)
+        report = experiments.run_inference_speed(
+            model=model, corpus=corpus, m_values=(6,), n_values=(16,),
+        )
+        assert report.bit_identical
+        assert report.batched_seconds > 0 and report.loop_seconds > 0
+        rendered = experiments.render_inference_speed(report)
+        assert "bit-identical" in rendered
+        with pytest.raises(ValueError, match="ignores the precision"):
+            experiments.run_inference_speed(
+                model=model, corpus=corpus, softmax_backend="float"
+            )

@@ -17,6 +17,11 @@ from repro.llm.trainer import Trainer
 from repro.quant.precision import PrecisionConfig
 from repro.softmax.reference import softmax
 
+# This suite deliberately exercises the deprecated integer_softmax_fn /
+# ap_cluster_softmax_fn shims (their legacy contracts must keep working);
+# the DeprecationWarning itself is pinned in tests/llm/test_infer.py.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestLlamaConfigs:
     def test_parameter_counts_close_to_nominal(self):

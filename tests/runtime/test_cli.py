@@ -95,6 +95,26 @@ class TestInProcess:
         assert main(["run", "fidelity", "--fast", "--quiet"]) == 0
         assert capsys.readouterr().out == ""
 
+    def test_workers_flag_reaches_experiment_config(self, capsys, tmp_path):
+        """--workers lands in the config (and the sweep still runs)."""
+        artifact = tmp_path / "table3_4.json"
+        code = main([
+            "run", "table3_4", "--fast", "--workers", "2",
+            "--quiet", "--json", str(artifact),
+        ])
+        assert code == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["config"]["workers"] == 2
+        rows = payload["result"]["rows"]
+        assert rows and all("seconds" in row for row in rows)
+
+    def test_workers_on_unsupported_experiment_exits_2(self, capsys):
+        assert main(["run", "fig1", "--workers", "2"]) == 2
+        assert "takes no workers" in capsys.readouterr().err
+        # --set workers=N must hit the same gate, not a raw TypeError.
+        assert main(["run", "fidelity", "--set", "workers=2"]) == 2
+        assert "takes no workers" in capsys.readouterr().err
+
     def test_out_writes_bare_to_dict_payload(self, capsys, tmp_path):
         """--out writes exactly Experiment.to_dict(result) (no artifact
         envelope) and round-trips through from_dict."""

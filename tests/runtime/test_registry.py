@@ -23,6 +23,7 @@ EXPECTED_NAMES = {
     "table3_4",
     "fidelity",
     "cluster-parity",
+    "llm-speed",
     "figs6_8",
     "table5",
     "table6",
