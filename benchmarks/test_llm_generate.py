@@ -1,0 +1,76 @@
+"""Decode benchmark: the KV-cache generation path's pinned speedup.
+
+The acceptance workload is autoregressive generation on a compute-bound
+model shape (8 prompts x 96 tokens, 64 new tokens each, hidden 128): the
+incremental KV-cache decode versus the naive baseline that re-prefills the
+whole growing sequence every step.  Same weights, same prompts, same
+seeded RNG stream on both sides; the two paths must emit **identical
+tokens** and the cached path must decode at least **3x** more tokens per
+second.
+
+This module joins the CI ``benchmark-smoke`` job next to
+``test_llm_speed.py``: it runs without ``--runslow`` and, when
+``REPRO_PERF_DIR`` is set, writes the measured timings to
+``BENCH_llm_generate.json`` so the decode-speed trajectory can be tracked
+across commits.
+"""
+
+import json
+import os
+import pathlib
+
+from repro.runtime import get_experiment
+
+#: Pinned tokens/sec floor of KV-cache decode over naive re-prefill.
+SPEEDUP_FLOOR = 3.0
+
+
+def _emit_perf_artifact(report) -> None:
+    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "llm-generate",
+        "workload": {
+            "backend": report.backend,
+            "batch": report.batch,
+            "prompt_length": report.prompt_length,
+            "max_new_tokens": report.max_new_tokens,
+            "temperature": report.temperature,
+        },
+        "tokens_match": report.tokens_match,
+        "cached_seconds": report.cached_seconds,
+        "reprefill_seconds": report.prefill_seconds,
+        "cached_tokens_per_second": report.cached_tokens_per_second,
+        "reprefill_tokens_per_second": report.prefill_tokens_per_second,
+        "decode_speedup": report.speedup,
+        "pinned_floor": SPEEDUP_FLOOR,
+    }
+    with open(path / "BENCH_llm_generate.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_kv_cache_decode_beats_reprefill(benchmark):
+    """Pin: KV-cache decode >= 3x tokens/sec over re-prefill, same tokens."""
+    experiment = get_experiment("llm-generate")
+    report = benchmark.pedantic(
+        experiment.run,
+        args=({},),
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(experiment.render(report))
+    _emit_perf_artifact(report)
+    assert report.tokens_match, (
+        "KV-cache decode emitted different tokens than the re-prefill "
+        "baseline"
+    )
+    assert report.speedup >= SPEEDUP_FLOOR, (
+        f"KV-cache decode only {report.speedup:.1f}x faster than re-prefill "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -64,6 +64,12 @@ from repro.experiments.table6_related_works import (
     render_table6,
 )
 from repro.experiments.area import AreaExperiment, run_area, render_area
+from repro.experiments.llm_generate import (
+    GenerateSpeedExperiment,
+    GenerateSpeedReport,
+    run_generate_speed,
+    render_generate_speed,
+)
 
 __all__ = [
     "Fig1Experiment",
@@ -102,4 +108,8 @@ __all__ = [
     "AreaExperiment",
     "run_area",
     "render_area",
+    "GenerateSpeedExperiment",
+    "GenerateSpeedReport",
+    "run_generate_speed",
+    "render_generate_speed",
 ]

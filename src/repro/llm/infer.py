@@ -133,12 +133,20 @@ def _check_valid_lengths(
 ) -> Optional[np.ndarray]:
     if valid_lengths is None:
         return None
-    lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
-    if lengths.shape != (batch,):
+    lengths = np.asarray(valid_lengths)
+    # Strict shape check *before* any flattening: a (B, 1) or (1, B) array
+    # reshapes silently to (B,) but almost certainly means the caller built
+    # the wrong layout — reject anything that is not already 1-D.
+    if lengths.ndim != 1 or lengths.shape != (batch,):
         raise ValueError(
-            f"valid_lengths must hold one entry per segment ({batch}), "
-            f"got shape {np.asarray(valid_lengths).shape}"
+            f"valid_lengths must be 1-D and hold one entry per segment "
+            f"({batch}), got shape {lengths.shape}"
         )
+    if not np.issubdtype(lengths.dtype, np.integer):
+        raise ValueError(
+            f"valid_lengths must be integers, got dtype {lengths.dtype}"
+        )
+    lengths = lengths.astype(np.int64)
     if np.any(lengths < 1) or np.any(lengths > t):
         raise ValueError("valid_lengths must lie in 1..T for every segment")
     return lengths
@@ -148,8 +156,16 @@ def _forward_batch(
     model: "TinyLlamaModel",
     tokens: np.ndarray,
     softmax_fn: Optional["SoftmaxFn"],
+    kv_sink: Optional[list] = None,
 ) -> np.ndarray:
-    """The batched decoder stack over a uniform-width ``(B, T)`` batch."""
+    """The batched decoder stack over a uniform-width ``(B, T)`` batch.
+
+    ``kv_sink``, when given, collects each layer's key/value projections as
+    ``(B, h, T, hd)`` array pairs — the KV-cache prefill
+    (:mod:`repro.llm.generate`) reuses this exact forward pass and seeds its
+    cache from the sink, so the cached keys are the very arrays the prefill
+    logits were computed from.
+    """
     t = tokens.shape[1]
     mask = model.causal_mask(t)
     positions = model.position_ids(t)
@@ -157,7 +173,7 @@ def _forward_batch(
 
     x = model.token_embedding.data[tokens] + model.position_embedding.data[positions]
     for index, layer in enumerate(model.layers):
-        x = x + _attention(model, x, index, mask, scale_factor, softmax_fn)
+        x = x + _attention(model, x, index, mask, scale_factor, softmax_fn, kv_sink)
         x = x + _feed_forward(x, layer)
     x = rms_norm_forward(x, model.final_norm.data)
     return np.matmul(x, model.output_head.data)
@@ -173,6 +189,7 @@ def _attention(
     mask: np.ndarray,
     scale_factor: float,
     softmax_fn: Optional["SoftmaxFn"],
+    kv_sink: Optional[list] = None,
 ) -> np.ndarray:
     """Multi-head causal self-attention over a ``(B, T, d)`` activation.
 
@@ -187,6 +204,8 @@ def _attention(
     q = np.matmul(hidden, stacks.wq)  # (B, h, T, hd)
     k = np.matmul(hidden, stacks.wk)
     v = np.matmul(hidden, stacks.wv)
+    if kv_sink is not None:
+        kv_sink.append((k, v))
     scores = np.matmul(q, k.transpose(0, 1, 3, 2)) * scale_factor  # (B, h, T, T)
 
     if softmax_fn is None:

@@ -57,22 +57,58 @@ __all__ = [
 
 
 def causal_batched_softmax(
-    stacked: np.ndarray, softmax_fn: "SoftmaxFn"
+    stacked: np.ndarray,
+    softmax_fn: "SoftmaxFn",
+    valid_lengths: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Apply a batched replacement softmax to stacked causal score blocks.
+    """Apply a batched replacement softmax to stacked causal score rows.
 
-    ``stacked`` is a head-major ``(blocks * t, t)`` score matrix whose every
-    ``t``-row block is one causal ``(t, t)`` score matrix (row ``i`` attends
-    to keys ``0..i``).  The callable receives the whole matrix plus the
-    tiled per-row causal prefix lengths and the returned probabilities are
-    re-masked with the causal validity pattern — a no-op for a conforming
-    callable, but it guarantees causality regardless of the replacement.
-    This is the single authority for the contract; both the autograd
-    forward and the graph-free inference path dispatch through it.
+    This is the single authority for the head-major row-space contract;
+    the autograd forward, the graph-free inference path and the KV-cache
+    decoder all dispatch through it.  The layout is **head-major, then
+    segment-major**: a batch of ``B`` segments of ``T`` queries under ``h``
+    heads stacks to an ``(h * B * T, T)`` matrix whose row
+    ``head * (B * T) + b * T + i`` is query row ``i`` of segment ``b`` of
+    ``head`` — every head's rows form one contiguous block, which is the
+    slicing :class:`~repro.mapping.cluster.ApCluster` shards across its
+    per-head APs.
+
+    Two row shapes are supported:
+
+    * ``valid_lengths=None`` (prefill): ``stacked`` is ``(blocks * t, t)``
+      where every ``t``-row block is one causal ``(t, t)`` score matrix —
+      row ``i`` attends to keys ``0..i`` and the per-row prefix lengths
+      ``1..t`` are derived by tiling.
+    * explicit ``valid_lengths`` (decode): each row is one independent
+      query with its own prefix length — an incremental decode step passes
+      ``(B * h, t)`` rows all attending to the full ``t``-entry KV cache.
+
+    The callable receives the whole matrix plus the per-row prefix lengths
+    and the returned probabilities are re-masked with the validity pattern
+    — a no-op for a conforming callable, but it guarantees causality
+    regardless of the replacement.
     """
     t = stacked.shape[1]
-    blocks = stacked.shape[0] // t
-    lengths = np.tile(np.arange(1, t + 1, dtype=np.int64), blocks)
+    if valid_lengths is None:
+        if stacked.shape[0] % t != 0:
+            raise ValueError(
+                f"stacked causal blocks need rows divisible by t={t}, "
+                f"got {stacked.shape[0]} rows"
+            )
+        blocks = stacked.shape[0] // t
+        lengths = np.tile(np.arange(1, t + 1, dtype=np.int64), blocks)
+    else:
+        lengths = np.asarray(valid_lengths, dtype=np.int64)
+        if lengths.shape != (stacked.shape[0],):
+            raise ValueError(
+                f"valid_lengths must have shape ({stacked.shape[0]},) — one "
+                f"entry per score row — got {lengths.shape}"
+            )
+        if lengths.size and (lengths.min() < 1 or lengths.max() > t):
+            raise ValueError(
+                f"valid_lengths must lie in 1..{t}, got "
+                f"[{lengths.min()}, {lengths.max()}]"
+            )
     probabilities = np.asarray(
         softmax_fn(stacked, valid_lengths=lengths), dtype=np.float64
     )
@@ -386,6 +422,45 @@ class TinyLlamaModel:
             valid_lengths=valid_lengths,
             softmax_fn=softmax_fn,
             backend=backend,
+        )
+
+    def generate(
+        self,
+        prompts: np.ndarray,
+        max_new_tokens: int,
+        valid_lengths: Optional[np.ndarray] = None,
+        softmax_fn: Optional[SoftmaxFn] = None,
+        backend: Optional[object] = None,
+        temperature: float = 0.0,
+        top_k: Optional[int] = None,
+        seed: int = 0,
+        use_cache: bool = True,
+    ) -> np.ndarray:
+        """Autoregressive decoding with a per-layer KV cache.
+
+        Accepts a ``(B, P)`` prompt batch (or a single ``(P,)`` prompt,
+        ragged batches via ``valid_lengths``) and returns the
+        ``(B, max_new_tokens)`` (or ``(max_new_tokens,)``) generated token
+        ids — greedy at ``temperature=0.0``, seeded temperature/top-k
+        sampling otherwise.  ``use_cache=False`` re-prefills the whole
+        sequence every step (the naive baseline the benchmark pins the
+        cached path against); both paths produce identical tokens — see
+        :func:`repro.llm.generate.generate` for the full contract.
+        """
+        # Imported lazily: repro.llm.generate imports this module's types.
+        from repro.llm.generate import generate
+
+        return generate(
+            self,
+            prompts,
+            max_new_tokens,
+            valid_lengths=valid_lengths,
+            softmax_fn=softmax_fn,
+            backend=backend,
+            temperature=temperature,
+            top_k=top_k,
+            seed=seed,
+            use_cache=use_cache,
         )
 
     # ------------------------------------------------------------------ #

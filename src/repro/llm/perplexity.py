@@ -11,8 +11,11 @@ evaluation runs **batched** by default: every non-overlapping segment is
 evaluated in one (or a few, when ``max_batch`` caps the batch) graph-free
 ``model.infer`` calls instead of a per-segment Python loop over the
 autograd forward.  Each decoder layer then issues a single head-major
-``(B*h*T, T)`` replacement-softmax call covering all segments, which is
-the row space the fused AP-cluster plan shards in one pass.  The result is
+``(h*B*T, T)`` replacement-softmax call covering all segments — row
+``h*(B*T) + b*T + i`` is query row ``i`` of segment ``b`` of head ``h``;
+see :func:`~repro.llm.model.causal_batched_softmax`, the layout authority
+— which is the row space the fused AP-cluster plan shards in one pass.
+The result is
 bit-identical to the seed per-segment loop — kept reachable via
 ``inference_path="loop"`` and pinned by ``tests/llm/test_infer.py``.
 

@@ -27,7 +27,8 @@ Algorithm 1 because ``vcorr = -(z mod vln2)``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -82,6 +83,14 @@ class SoftmAPMapping:
         (:func:`~repro.ap.engine.canonical_engine_name`); can be overridden
         per call on :meth:`execute_functional` /
         :meth:`execute_functional_batch`.
+    plan_cache_size:
+        Bound on the per-shape compiled-plan cache (see :meth:`plan`),
+        counting the always-pinned provisioned-shape plan.  An
+        autoregressive decode sweeps one runtime shape per generated token,
+        so an unbounded cache would retain one lowered plan per distinct
+        sequence length for the mapping's whole lifetime; the least
+        recently used shape is evicted (and transparently recompiled on
+        the next request) instead.
     """
 
     #: Realisations of the final normalisation step (see ``division`` above).
@@ -89,6 +98,11 @@ class SoftmAPMapping:
 
     #: Supported CAM row packing factors.
     WORDS_PER_ROW_CHOICES = (1, 2)
+
+    #: Default :meth:`plan` cache bound — comfortably above the handful of
+    #: shapes a prefill workload touches, while keeping a 1..T decode
+    #: length sweep from retaining one compiled plan per length forever.
+    DEFAULT_PLAN_CACHE_SIZE = 32
 
     def __init__(
         self,
@@ -100,6 +114,7 @@ class SoftmAPMapping:
         division: str = "restoring",
         clip_threshold: Optional[float] = None,
         backend: str = "reference",
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
     ) -> None:
         self.precision = precision
         self.sequence_length = check_positive_int(sequence_length, "sequence_length")
@@ -113,7 +128,12 @@ class SoftmAPMapping:
         self.division = check_in_choices(division, self.DIVISION_MODES, "division")
         self.backend = canonical_engine_name(backend)
         self.clip_threshold = clip_threshold
-        self._plans: Dict[Tuple[int, int], ExecutionPlan] = {}
+        self.plan_cache_size = check_positive_int(plan_cache_size, "plan_cache_size")
+        self._plans: "OrderedDict[Tuple[int, int], ExecutionPlan]" = OrderedDict()
+        self._provisioned_key = (
+            self.sequence_length,
+            self.precision.result_column_bits,
+        )
         # The provisioned-shape plan: compiling it here keeps construction
         # errors (invalid precision/threshold combinations) eager and
         # preserves the historical attribute surface.
@@ -136,26 +156,43 @@ class SoftmAPMapping:
 
         Plans are cached per ``(sequence_length, output_fraction_bits)``
         shape, so repeated execution (every head, every layer, every pass)
-        lowers the dataflow exactly once.
+        lowers the dataflow exactly once.  The cache is an LRU bounded by
+        ``plan_cache_size``: a workload that sweeps runtime shapes — an
+        autoregressive decode compiles one shape per generated token —
+        evicts its least recently used shapes instead of retaining every
+        plan it ever lowered.  The provisioned shape (the one compiled at
+        construction and exposed through ``rows``/``cost_model``/...) is
+        pinned and never evicted.
         """
         if sequence_length is None:
             sequence_length = self.sequence_length
         if output_fraction_bits is None:
             output_fraction_bits = self.precision.result_column_bits
         key = (sequence_length, output_fraction_bits)
-        if key not in self._plans:
-            self._plans[key] = ExecutionPlan(
-                precision=self.precision,
-                sequence_length=sequence_length,
-                words_per_row=self.words_per_row,
-                columns=self.columns,
-                tech=self.tech,
-                division=self.division,
-                clip_threshold=self.clip_threshold,
-                engine=self.backend,
-                output_fraction_bits=output_fraction_bits,
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            return plan
+        plan = ExecutionPlan(
+            precision=self.precision,
+            sequence_length=sequence_length,
+            words_per_row=self.words_per_row,
+            columns=self.columns,
+            tech=self.tech,
+            division=self.division,
+            clip_threshold=self.clip_threshold,
+            engine=self.backend,
+            output_fraction_bits=output_fraction_bits,
+        )
+        self._plans[key] = plan
+        while len(self._plans) > self.plan_cache_size:
+            victim = next(
+                (k for k in self._plans if k != self._provisioned_key), None
             )
-        return self._plans[key]
+            if victim is None:
+                break
+            del self._plans[victim]
+        return plan
 
     # ------------------------------------------------------------------ #
     # Analytical cost                                                      #

@@ -147,6 +147,21 @@ class TestInferForwardParity:
         with pytest.raises(ValueError, match="1..T"):
             model.infer(np.zeros((2, 4), dtype=np.int64), valid_lengths=[0, 4])
 
+    def test_valid_lengths_shape_checked_strictly(self, trained):
+        """Regression: (B, 1) and (1, B) arrays used to flatten silently
+        through reshape(-1); the shape is now validated before flattening."""
+        model, _ = trained
+        tokens = np.zeros((2, 4), dtype=np.int64)
+        with pytest.raises(ValueError, match="must be 1-D"):
+            model.infer(tokens, valid_lengths=np.array([[4], [4]]))
+        with pytest.raises(ValueError, match="must be 1-D"):
+            model.infer(tokens, valid_lengths=np.array([[4, 4]]))
+        with pytest.raises(ValueError, match="must be integers"):
+            model.infer(tokens, valid_lengths=np.array([4.0, 4.0]))
+        # The happy path still accepts plain Python lists.
+        logits = model.infer(tokens, valid_lengths=[4, 2])
+        assert logits.shape == (2, 4, model.config.vocab_size)
+
 
 @settings(max_examples=15, deadline=None)
 @given(

@@ -71,6 +71,53 @@ class TestCostModel:
             mapping.cost_model.multiplication_cycles(6)
 
 
+class TestPlanCache:
+    def test_length_sweep_stays_bounded(self):
+        """Regression: an incremental decode sweeps sequence lengths 1..T;
+        the plan cache must evict instead of retaining one compiled plan
+        per distinct length forever."""
+        mapping = SoftmAPMapping(
+            BEST_PRECISION, sequence_length=48, plan_cache_size=8
+        )
+        for length in range(2, 49):
+            mapping.plan(sequence_length=length)
+        assert len(mapping._plans) <= 8
+        # The provisioned shape is pinned: still cached, still the object
+        # the construction-time attributes were read from.
+        provisioned = mapping.plan()
+        assert provisioned.rows == mapping.rows
+        assert len(mapping._plans) <= 8
+
+    def test_recently_used_plans_survive(self):
+        mapping = SoftmAPMapping(
+            BEST_PRECISION, sequence_length=32, plan_cache_size=4
+        )
+        hot = mapping.plan(sequence_length=8)
+        for length in range(9, 20):
+            mapping.plan(sequence_length=8)  # keep the hot shape recent
+            mapping.plan(sequence_length=length)
+        assert mapping.plan(sequence_length=8) is hot
+
+    def test_eviction_recompiles_transparently(self):
+        mapping = SoftmAPMapping(
+            BEST_PRECISION, sequence_length=16, plan_cache_size=2
+        )
+        first = mapping.plan(sequence_length=4)
+        for length in range(5, 10):
+            mapping.plan(sequence_length=length)  # evicts length 4
+        recompiled = mapping.plan(sequence_length=4)
+        assert recompiled is not first
+        assert recompiled.rows == first.rows
+
+    def test_repeated_plan_calls_cache(self):
+        mapping = SoftmAPMapping(BEST_PRECISION, sequence_length=16)
+        assert mapping.plan(sequence_length=7) is mapping.plan(sequence_length=7)
+
+    def test_plan_cache_size_validated(self):
+        with pytest.raises(ValueError, match="plan_cache_size"):
+            SoftmAPMapping(BEST_PRECISION, 16, plan_cache_size=0)
+
+
 class TestFunctionalExecution:
     @pytest.mark.parametrize("m", [4, 6, 8])
     def test_bit_exact_against_software_pipeline(self, m):

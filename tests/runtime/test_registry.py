@@ -24,6 +24,7 @@ EXPECTED_NAMES = {
     "fidelity",
     "cluster-parity",
     "llm-speed",
+    "llm-generate",
     "figs6_8",
     "table5",
     "table6",
