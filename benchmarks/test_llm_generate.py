@@ -20,20 +20,14 @@ import os
 import pathlib
 
 from repro.runtime import get_experiment
+from repro.utils.trajectory import record_benchmark
 
 #: Pinned tokens/sec floor of KV-cache decode over naive re-prefill.
 SPEEDUP_FLOOR = 3.0
 
 
-def _emit_perf_artifact(report) -> None:
-    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
-    perf_dir = os.environ.get("REPRO_PERF_DIR")
-    if not perf_dir:
-        return
-    path = pathlib.Path(perf_dir)
-    path.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "benchmark": "llm-generate",
+def _report_payload(report) -> dict:
+    return {
         "workload": {
             "backend": report.backend,
             "batch": report.batch,
@@ -49,6 +43,16 @@ def _emit_perf_artifact(report) -> None:
         "decode_speedup": report.speedup,
         "pinned_floor": SPEEDUP_FLOOR,
     }
+
+
+def _emit_perf_artifact(report) -> None:
+    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"benchmark": "llm-generate", **_report_payload(report)}
     with open(path / "BENCH_llm_generate.json", "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -66,6 +70,7 @@ def test_kv_cache_decode_beats_reprefill(benchmark):
     print()
     print(experiment.render(report))
     _emit_perf_artifact(report)
+    record_benchmark("llm_generate", _report_payload(report))
     assert report.tokens_match, (
         "KV-cache decode emitted different tokens than the re-prefill "
         "baseline"

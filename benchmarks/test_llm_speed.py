@@ -23,20 +23,14 @@ import os
 import pathlib
 
 from repro.runtime import get_experiment
+from repro.utils.trajectory import record_benchmark
 
 #: Pinned wall-clock floor of the batched sweep over the seed loop.
 SWEEP_SPEEDUP_FLOOR = 5.0
 
 
-def _emit_perf_artifact(report) -> None:
-    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
-    perf_dir = os.environ.get("REPRO_PERF_DIR")
-    if not perf_dir:
-        return
-    path = pathlib.Path(perf_dir)
-    path.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "benchmark": "llm-speed",
+def _report_payload(report) -> dict:
+    return {
         "workload": {
             "backend": report.backend,
             "configurations": report.configurations,
@@ -50,6 +44,16 @@ def _emit_perf_artifact(report) -> None:
         "sweep_speedup": report.speedup,
         "pinned_floor": SWEEP_SPEEDUP_FLOOR,
     }
+
+
+def _emit_perf_artifact(report) -> None:
+    """Write the timing JSON artifact when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"benchmark": "llm-speed", **_report_payload(report)}
     with open(path / "BENCH_llm_speed.json", "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -67,6 +71,7 @@ def test_batched_inference_sweep_beats_seed_loop(benchmark):
     print()
     print(experiment.render(report))
     _emit_perf_artifact(report)
+    record_benchmark("llm_speed", _report_payload(report))
     assert report.bit_identical, (
         "batched inference path diverged from the seed per-segment loop"
     )

@@ -1,0 +1,449 @@
+"""The ``"compiled"`` engine: buffer-planned, in-place plan execution.
+
+:class:`~repro.mapping.plan.ExecutionPlan` lowers the Fig. 5 dataflow once
+per shape, but the ``"vectorized"`` executor (the plan's packed-path
+interpreter) still walks the lowered program op by op, allocating fresh
+numpy temporaries for every field of every instruction on every pass.  The
+dataflow is *fixed* per (precision, sequence, width) shape, so all of that
+can be resolved at compile time.  :class:`CompiledEngine` is that last
+lowering level:
+
+* **buffer-planned scratch arena** — the plan's buffer-liveness pass
+  (:func:`repro.mapping.plan.plan_buffers`) assigns every vector field a
+  slot in a preallocated ``uint64`` arena; fields with disjoint live ranges
+  share storage (the 12 vector fields of the softmax program fit 4 slots),
+  scalar constants (``mu``/``vln2``/``vc``) are folded into the consuming
+  instructions, and dead scratch (the division remainder) is never
+  materialised.
+* **in-place packed ops** — every instruction compiles to a closure of
+  ``out=``-style numpy calls against the arena slots; steady-state
+  execution allocates nothing but the per-segment reduction totals and the
+  final float result.
+* **fused shift/mask/select sequences** — adjacent ``write_const`` +
+  in-place arithmetic pairs collapse into one reverse-op against the baked
+  constant, ``copy``'s shift+truncate is a single masked shift, and the
+  barrel shifter's predicated select runs as branch-free xor-masking
+  (``t ^= cur; t &= pred_mask; cur ^= t``) instead of the interpreter's
+  ``np.where`` (which materialises a boolean row plus two temporaries per
+  stage).
+* **reusable arena pool** — arenas grow geometrically with the workload and
+  are checked out under a lock, so independent
+  :class:`~repro.mapping.plan.WorkloadPass` tiles can execute on worker
+  threads concurrently (each borrows its own arena) while a single-threaded
+  caller reuses one arena allocation across every pass of a sweep.
+
+Bit-exactness
+-------------
+Every closure reproduces the corresponding packed-interpreter op with the
+same ``uint64`` primitives — truncating multiplies, wrapping subtracts, the
+barrel shifter's stage predicates, and restoring division's divisor-zero
+saturation — so the result is bit-identical to ``"vectorized"`` (and hence
+to the bit-serial ``"reference"`` sweep) by construction; the parity suites
+in ``tests/ap/test_compiled.py`` and ``tests/mapping/test_plan.py`` pin it.
+Analytical cycle accounting is untouched: the plan's Table II step costs
+describe the modeled hardware, not the simulator's execution strategy.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+__all__ = ["CompiledEngine"]
+
+#: Number of uint64 temp rows the compiled closures need beyond the
+#: buffer plan's field slots (barrel-shift select + wide-op scratch).
+TEMP_SLOTS = 2
+
+#: Arenas are provisioned in powers of two from this floor so a decode
+#: sweep's 1..T shapes reuse one allocation instead of reallocating per
+#: length.
+_MIN_CAPACITY = 1024
+
+
+def _mask64(bits: int) -> np.uint64:
+    """All-ones mask covering the low ``bits`` bits (``bits <= 64``)."""
+    return np.uint64((1 << bits) - 1)
+
+
+class _Arena:
+    """One preallocated scratch buffer: uint64 slot rows + a bool row."""
+
+    __slots__ = ("buf", "bools", "capacity")
+
+    def __init__(self, slot_rows: int, capacity: int) -> None:
+        self.buf = np.empty((slot_rows, capacity), dtype=np.uint64)
+        self.bools = np.empty(capacity, dtype=bool)
+        self.capacity = capacity
+
+    @property
+    def nbytes(self) -> int:
+        return self.buf.nbytes + self.bools.nbytes
+
+
+class CompiledEngine:
+    """Executes one plan's buffer-planned program against a scratch arena.
+
+    Instances are built through the engine registry's plan-executor seam
+    (``ExecutionPlan.plan_executor("compiled")``) — one per plan, holding
+    the compiled closures and the arena pool.  ``run`` is thread-safe:
+    concurrent calls borrow distinct arenas.
+    """
+
+    def __init__(self, plan) -> None:
+        self._n = plan.sequence_length
+        self._slot_rows = plan.buffers.num_slots + TEMP_SLOTS
+        self._out_slot = plan.buffers.slots["out"]
+        self._steps = self._compile(plan)
+        self._pool: List[_Arena] = []
+        self._pool_lock = threading.Lock()
+        self._allocated_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Arena pool                                                           #
+    # ------------------------------------------------------------------ #
+    @property
+    def arena_bytes(self) -> int:
+        """Bytes currently allocated across every arena of the pool."""
+        return self._allocated_bytes
+
+    @property
+    def arena_slots(self) -> int:
+        """Rows per arena: buffer-plan slots plus the fixed temp rows."""
+        return self._slot_rows
+
+    def _acquire(self, words: int) -> _Arena:
+        with self._pool_lock:
+            for index, arena in enumerate(self._pool):
+                if arena.capacity >= words:
+                    return self._pool.pop(index)
+            # No arena fits: retire one undersized allocation (if any) so
+            # the pool cardinality stays bounded by peak concurrency, and
+            # provision geometrically for the new high-water mark.
+            if self._pool:
+                self._allocated_bytes -= self._pool.pop().nbytes
+            capacity = _MIN_CAPACITY
+            while capacity < words:
+                capacity *= 2
+            arena = _Arena(self._slot_rows, capacity)
+            self._allocated_bytes += arena.nbytes
+            return arena
+
+    def _release(self, arena: _Arena) -> None:
+        with self._pool_lock:
+            self._pool.append(arena)
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                            #
+    # ------------------------------------------------------------------ #
+    def run(
+        self, z: np.ndarray, pad_mask: Optional[np.ndarray], batch: int
+    ) -> np.ndarray:
+        """Run the compiled program; mirrors ``ExecutionPlan._run_packed``."""
+        words = int(z.size)
+        arena = self._acquire(words)
+        try:
+            views = [arena.buf[row, :words] for row in range(self._slot_rows)]
+            bools = arena.bools[:words]
+            padflat = None if pad_mask is None else pad_mask.ravel()
+            for step in self._steps:
+                step(views, bools, z, padflat, batch)
+            out = views[self._out_slot].astype(np.float64)
+        finally:
+            self._release(arena)
+        return out.reshape(batch, self._n)
+
+    # ------------------------------------------------------------------ #
+    # Compilation: one closure per (possibly fused) instruction            #
+    # ------------------------------------------------------------------ #
+    def _compile(self, plan) -> List[Callable]:
+        bits: Dict[str, int] = dict(plan._bits)
+        buffers = plan.buffers
+        slots = buffers.slots
+        scalar_set = set(buffers.scalar_fields)
+        n = self._n
+        t0 = buffers.num_slots
+        t1 = buffers.num_slots + 1
+
+        # Scalar constants are known at compile time: collect them so the
+        # consuming closures bake the value in and the write_const op
+        # disappears from the instruction stream.
+        scalars: Dict[str, int] = {
+            op.dest: op.value
+            for op in plan.program
+            if op.op == "write_const" and op.dest in scalar_set
+        }
+
+        def operand(name: str) -> Union[int, np.uint64]:
+            """Slot index for vector fields, baked value for scalars."""
+            if name in scalars:
+                return np.uint64(scalars[name])
+            return slots[name]
+
+        steps: List[Callable] = []
+        program = list(plan.program)
+        index = 0
+        while index < len(program):
+            op = program[index]
+            nxt = program[index + 1] if index + 1 < len(program) else None
+            if op.op == "write_const" and op.dest in scalar_set:
+                pass  # folded into the consumers
+            elif (
+                op.op == "write_const"
+                and nxt is not None
+                and nxt.op == "subtract"
+                and nxt.a == op.dest
+                and nxt.b not in scalar_set
+            ):
+                # Peephole: materialise-const + in-place subtract fuse into
+                # one reverse-subtract against the baked constant.
+                steps.append(
+                    self._rsub_const(
+                        op.value, slots[nxt.b], slots[op.dest], _mask64(bits[op.dest])
+                    )
+                )
+                index += 1  # the subtract is consumed by the fusion
+            elif op.op == "write_const":
+                steps.append(self._fill(slots[op.dest], np.uint64(op.value)))
+            elif op.op == "write_input":
+                steps.append(self._write_input(slots[op.dest]))
+            elif op.op == "multiply":
+                steps.append(
+                    self._multiply(
+                        operand(op.a), operand(op.b), slots[op.dest],
+                        _mask64(bits[op.dest]),
+                    )
+                )
+            elif op.op == "copy":
+                # Shift and truncate fuse into one masked shift; the mask is
+                # dropped when the source cannot carry bits past the
+                # destination width.
+                needs_mask = bits[op.a] - op.shift > bits[op.dest]
+                steps.append(
+                    self._copy(
+                        slots[op.a], slots[op.dest], op.shift,
+                        _mask64(bits[op.dest]) if needs_mask else None,
+                    )
+                )
+            elif op.op == "subtract":
+                steps.append(
+                    self._subtract(
+                        slots[op.a], operand(op.b), _mask64(bits[op.a]), t0
+                    )
+                )
+            elif op.op == "add":
+                steps.append(
+                    self._add(slots[op.b], operand(op.a), _mask64(bits[op.b]), t0)
+                )
+            elif op.op == "shift_right":
+                steps.append(
+                    self._shift_right(
+                        slots[op.a], slots[op.b], slots[op.dest],
+                        _mask64(bits[op.dest]), op.stages, t0, t1,
+                    )
+                )
+            elif op.op == "mask_padding":
+                steps.append(self._mask_padding(slots[op.dest]))
+            elif op.op == "reduce_broadcast":
+                steps.append(
+                    self._reduce_broadcast(
+                        slots[op.a], slots[op.dest], _mask64(bits[op.dest]), n
+                    )
+                )
+            elif op.op == "divide":
+                steps.append(
+                    self._divide(
+                        slots[op.a], slots[op.b], slots[op.dest],
+                        op.fraction_bits,
+                        _mask64(bits[op.a] + op.fraction_bits),
+                        _mask64(bits[op.dest]),
+                        t0,
+                    )
+                )
+            else:  # pragma: no cover - lowering and executor move together
+                raise ValueError(f"unknown plan opcode {op.op!r}")
+            index += 1
+        return steps
+
+    # Each factory below returns a closure with the uniform signature
+    # step(views, bools, z, padflat, batch); everything shape-independent
+    # is captured at compile time.
+
+    @staticmethod
+    def _write_input(dest: int) -> Callable:
+        def step(views, bools, z, padflat, batch):
+            np.copyto(views[dest], z, casting="unsafe")
+
+        return step
+
+    @staticmethod
+    def _fill(dest: int, value: np.uint64) -> Callable:
+        def step(views, bools, z, padflat, batch):
+            views[dest].fill(value)
+
+        return step
+
+    @staticmethod
+    def _rsub_const(
+        value: int, source: int, dest: int, mask: np.uint64
+    ) -> Callable:
+        constant = np.uint64(value)
+
+        def step(views, bools, z, padflat, batch):
+            d = views[dest]
+            np.bitwise_and(views[source], mask, out=d)
+            np.subtract(constant, d, out=d)
+            np.bitwise_and(d, mask, out=d)
+
+        return step
+
+    @staticmethod
+    def _multiply(a, b, dest: int, mask: np.uint64) -> Callable:
+        def step(views, bools, z, padflat, batch):
+            d = views[dest]
+            ra = views[a] if isinstance(a, int) else a
+            rb = views[b] if isinstance(b, int) else b
+            np.multiply(ra, rb, out=d)
+            np.bitwise_and(d, mask, out=d)
+
+        return step
+
+    @staticmethod
+    def _copy(
+        source: int, dest: int, shift: int, mask: Optional[np.uint64]
+    ) -> Callable:
+        shift_u = np.uint64(shift)
+
+        def step(views, bools, z, padflat, batch):
+            d = views[dest]
+            if shift:
+                np.right_shift(views[source], shift_u, out=d)
+            else:
+                np.copyto(d, views[source])
+            if mask is not None:
+                np.bitwise_and(d, mask, out=d)
+
+        return step
+
+    @staticmethod
+    def _subtract(a: int, b, mask: np.uint64, t0: int) -> Callable:
+        if isinstance(b, int):
+
+            def step(views, bools, z, padflat, batch):
+                d = views[a]
+                t = views[t0]
+                np.bitwise_and(views[b], mask, out=t)
+                np.subtract(d, t, out=d)
+                np.bitwise_and(d, mask, out=d)
+
+        else:
+            constant = b & mask
+
+            def step(views, bools, z, padflat, batch):
+                d = views[a]
+                np.subtract(d, constant, out=d)
+                np.bitwise_and(d, mask, out=d)
+
+        return step
+
+    @staticmethod
+    def _add(b: int, a, mask: np.uint64, t0: int) -> Callable:
+        if isinstance(a, int):
+
+            def step(views, bools, z, padflat, batch):
+                d = views[b]
+                t = views[t0]
+                np.bitwise_and(views[a], mask, out=t)
+                np.add(d, t, out=d)
+                np.bitwise_and(d, mask, out=d)
+
+        else:
+            constant = a & mask
+
+            def step(views, bools, z, padflat, batch):
+                d = views[b]
+                np.add(d, constant, out=d)
+                np.bitwise_and(d, mask, out=d)
+
+        return step
+
+    @staticmethod
+    def _shift_right(
+        a: int, b: int, dest: int, mask: np.uint64, stages: int, t0: int, t1: int
+    ) -> Callable:
+        zero = np.uint64(0)
+        one = np.uint64(1)
+        stage_shifts = [
+            (np.uint64(k), 1 << k, np.uint64(min(1 << k, 63)))
+            for k in range(stages)
+        ]
+
+        def step(views, bools, z, padflat, batch):
+            cur = views[dest]
+            pred = views[t0]
+            shifted = views[t1]
+            np.bitwise_and(views[a], mask, out=cur)
+            for stage, offset, offset_u in stage_shifts:
+                # pred <- all-ones where shift bit `stage` is set, else 0
+                np.right_shift(views[b], stage, out=pred)
+                np.bitwise_and(pred, one, out=pred)
+                np.subtract(zero, pred, out=pred)
+                if offset >= 64:
+                    shifted.fill(zero)
+                else:
+                    np.right_shift(cur, offset_u, out=shifted)
+                # Branch-free select: cur <- pred ? shifted : cur
+                np.bitwise_xor(shifted, cur, out=shifted)
+                np.bitwise_and(shifted, pred, out=shifted)
+                np.bitwise_xor(cur, shifted, out=cur)
+
+        return step
+
+    @staticmethod
+    def _mask_padding(dest: int) -> Callable:
+        zero = np.uint64(0)
+
+        def step(views, bools, z, padflat, batch):
+            if padflat is not None:
+                np.copyto(views[dest], zero, where=padflat)
+
+        return step
+
+    @staticmethod
+    def _reduce_broadcast(a: int, dest: int, mask: np.uint64, n: int) -> Callable:
+        def step(views, bools, z, padflat, batch):
+            totals = views[a].reshape(batch, n).sum(axis=1, dtype=np.uint64)
+            np.bitwise_and(totals, mask, out=totals)
+            views[dest].reshape(batch, n)[:] = totals[:, None]
+
+        return step
+
+    @staticmethod
+    def _divide(
+        a: int,
+        b: int,
+        dest: int,
+        fraction_bits: int,
+        saturated: np.uint64,
+        mask: np.uint64,
+        t0: int,
+    ) -> Callable:
+        fraction = np.uint64(fraction_bits)
+        one = np.uint64(1)
+        zero = np.uint64(0)
+
+        def step(views, bools, z, padflat, batch):
+            d = views[dest]
+            t = views[t0]
+            divisor = views[b]
+            np.left_shift(views[a], fraction, out=d)
+            np.maximum(divisor, one, out=t)
+            np.floor_divide(d, t, out=d)
+            # Divisor-zero saturation, exactly like restoring division.
+            np.equal(divisor, zero, out=bools)
+            np.copyto(d, saturated, where=bools)
+            np.bitwise_and(d, mask, out=d)
+
+        return step

@@ -26,7 +26,11 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ap.cam import CamArray, CamStats
-from repro.ap.engine import ENGINE_NAMES, BitPlaneEngine, canonical_engine_name
+from repro.ap.engine import (
+    BitPlaneEngine,
+    canonical_engine_name,
+    processor_engine_names,
+)
 from repro.ap.fields import Field, FieldAllocator
 from repro.ap.lut import (
     ADD_LUT,
@@ -75,14 +79,16 @@ class AssociativeProcessor:
     #: Name of the flag service column (used by division).
     FLAG = "__flag__"
 
-    #: Execution backends accepted by the constructor (the functional
-    #: engines of :data:`repro.ap.engine.ENGINE_NAMES`).
-    BACKENDS = ENGINE_NAMES
+    #: Execution backends accepted by the constructor: the registered
+    #: engines that can serve per-operation CAM sweeps.  Plan-only engines
+    #: (e.g. ``"compiled"``) are rejected here — they execute whole lowered
+    #: programs, not individual instructions.
+    BACKENDS = processor_engine_names()
 
     def __init__(self, rows: int, columns: int, backend: str = "reference") -> None:
         check_positive_int(rows, "rows")
         check_positive_int(columns, "columns")
-        self.backend = canonical_engine_name(backend)
+        self.backend = canonical_engine_name(backend, processor=True)
         service_columns = 3
         self.cam = CamArray(rows, columns + service_columns)
         self.allocator = FieldAllocator(columns + service_columns)

@@ -29,9 +29,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.ap.engine import canonical_engine_name
 from repro.llm.config import LlamaConfig
 from repro.llm.model import TinyLlamaModel
-from repro.runtime.backend import canonical_backend_name, resolve_model_backend
+from repro.runtime.backend import (
+    BackendSpec,
+    canonical_backend_name,
+    resolve_model_backend,
+)
 from repro.runtime.registry import Experiment, register
 
 __all__ = [
@@ -91,19 +96,24 @@ def run_generate_speed(
     temperature: float = 0.0,
     top_k: Optional[int] = None,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> GenerateSpeedReport:
     """Time KV-cache generation against the re-prefill baseline.
 
     Backend construction (and, for the AP paths, plan compilation of the
     provisioned shape) happens outside both timed windows — the report is
     pure generation time.  ``softmax_backend=None`` (or ``"float"``) runs
-    the floating-point attention softmax.
+    the floating-point attention softmax; ``engine`` selects the
+    functional AP engine for the AP-family backends (any engine-registry
+    name, e.g. ``"compiled"``).
     """
     canonical = (
         "float"
         if softmax_backend is None
         else canonical_backend_name(softmax_backend)
     )
+    if engine is not None:
+        engine = canonical_engine_name(engine)
     config = LlamaConfig(
         name="generate-bench",
         num_layers=num_layers,
@@ -121,7 +131,9 @@ def run_generate_speed(
         None
         if canonical == "float"
         else resolve_model_backend(
-            canonical, config.num_heads, config.max_context
+            BackendSpec(name=canonical, engine=engine),
+            config.num_heads,
+            config.max_context,
         ).softmax_fn()
     )
     # Warm the shape-dependent caches (stacked weights, masks, positions)

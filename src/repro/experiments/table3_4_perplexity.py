@@ -34,6 +34,7 @@ from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.ap.engine import canonical_engine_name
 from repro.llm.config import LlamaConfig
 from repro.llm.dataset import SyntheticCorpus, make_corpus
 from repro.llm.model import SoftmaxFn, TinyLlamaModel
@@ -151,18 +152,22 @@ def _sweep_softmax_fn(
     softmax_backend: str,
     num_heads: int,
     segment_length: int,
+    engine: Optional[str] = None,
 ) -> SoftmaxFn:
     """The attention-softmax callable for one sweep configuration.
 
     Resolution goes through the unified runtime API, so any registered
     backend name (or legacy alias) works here and a typo fails eagerly
-    with a "did you mean" suggestion.
+    with a "did you mean" suggestion.  ``engine`` selects the functional
+    AP engine for the AP-family backends (any engine-registry name, e.g.
+    ``"compiled"``); the pure-software backends ignore it.
     """
     backend = resolve_backend(
         softmax_backend,
         precision=config,
         num_heads=num_heads,
         sequence_length=segment_length,
+        engine=engine,
     )
     return backend.softmax_fn()
 
@@ -175,10 +180,11 @@ def _sweep_point(
     softmax_backend: str,
     inference_path: str,
     max_batch: Optional[int],
+    engine: Optional[str] = None,
 ) -> PerplexityPoint:
     """Evaluate one precision configuration, with wall-clock telemetry."""
     softmax_fn = _sweep_softmax_fn(
-        precision, softmax_backend, model.config.num_heads, segment
+        precision, softmax_backend, model.config.num_heads, segment, engine
     )
     start = time.perf_counter()
     perplexity = evaluate_perplexity(
@@ -227,6 +233,7 @@ def _sweep_point_worker(precision: PrecisionConfig) -> PerplexityPoint:
         context["softmax_backend"],
         context["inference_path"],
         context["max_batch"],
+        context.get("engine"),
     )
 
 
@@ -243,6 +250,7 @@ def run_perplexity_sweep(
     inference_path: str = "batched",
     max_batch: Optional[int] = None,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[PerplexityPoint]:
     """End-to-end perplexity for the precision grid (plus the FP baseline).
 
@@ -263,6 +271,9 @@ def run_perplexity_sweep(
     each worker, so the points — including the per-point ``seconds``
     telemetry — come back in the same deterministic order as the serial
     sweep, with identical floats.  ``None``/``1`` runs serially.
+    ``engine`` selects the functional AP engine for the AP-family backends
+    (any engine-registry name — ``reference``/``vectorized``/``compiled``;
+    results are pinned bit-identical across all of them).
     """
     # Validate eagerly (single authority, with a did-you-mean for typos)
     # before spending time training the reference model; only backends that
@@ -276,6 +287,10 @@ def run_perplexity_sweep(
             f"{', '.join(PRECISION_SWEEP_BACKENDS)} (or a legacy alias)"
         )
     check_in_choices(inference_path, INFERENCE_PATHS, "inference_path")
+    if engine is not None:
+        # Same eager-failure policy as the backend name: an engine typo
+        # must not survive until the first attention row of the sweep.
+        engine = canonical_engine_name(engine)
     if workers is not None:
         check_positive_int(workers, "workers")
     if model is None or corpus is None:
@@ -309,6 +324,7 @@ def run_perplexity_sweep(
             "softmax_backend": softmax_backend,
             "inference_path": inference_path,
             "max_batch": max_batch,
+            "engine": engine,
         }
         with ProcessPoolExecutor(
             max_workers=min(workers, len(configurations)),
@@ -325,7 +341,7 @@ def run_perplexity_sweep(
             points.append(
                 _sweep_point(
                     model, tokens, segment, config, softmax_backend,
-                    inference_path, max_batch,
+                    inference_path, max_batch, engine,
                 )
             )
     return points
@@ -343,6 +359,12 @@ class ClusterEquivalenceReport:
     ``fused_speedup`` is per-head-loop seconds over fused seconds — the
     pinned win of the compiled-plan layer; ``speedup`` is row-by-row
     seconds over fused seconds (the historical pin).
+
+    The compiled-engine leg re-runs the same fused workload on the
+    scratch-arena ``"compiled"`` engine: ``compiled_identical`` pins its
+    probabilities bit-identical to the fused (vectorized) pass, and
+    ``compiled_speedup`` is vectorized seconds over compiled seconds — the
+    pinned win of the buffer-planned executor over the packed interpreter.
     """
 
     batch: int
@@ -352,6 +374,8 @@ class ClusterEquivalenceReport:
     cluster_seconds: float
     per_head_loop_seconds: float
     row_by_row_seconds: float
+    compiled_seconds: float = 0.0
+    compiled_identical: bool = True
 
     @property
     def speedup(self) -> float:
@@ -361,6 +385,12 @@ class ClusterEquivalenceReport:
     def fused_speedup(self) -> float:
         return self.per_head_loop_seconds / self.cluster_seconds
 
+    @property
+    def compiled_speedup(self) -> float:
+        if self.compiled_seconds <= 0.0:
+            return float("inf")
+        return self.cluster_seconds / self.compiled_seconds
+
 
 def run_ap_cluster_equivalence(
     heads: int = 4,
@@ -368,28 +398,44 @@ def run_ap_cluster_equivalence(
     batch: int = 32,
     precision: PrecisionConfig = BEST_PRECISION,
     seed: int = 0,
+    fast_iterations: int = 3,
 ) -> ClusterEquivalenceReport:
-    """Compare the fused cluster path against its three ancestors.
+    """Compare the fused cluster path against its ancestors and successor.
 
-    A ``(batch, heads, seq)`` attention-score tensor is evaluated four
+    A ``(batch, heads, seq)`` attention-score tensor is evaluated five
     ways: on the :class:`~repro.mapping.cluster.ApCluster` (one fused
-    compiled-plan pass over the head-major row space), by the PR 2
-    per-head loop (one per-operation AP-engine execution per head —
+    compiled-plan pass over the head-major row space), on the same cluster
+    with the scratch-arena ``"compiled"`` engine, by the PR 2 per-head
+    loop (one per-operation AP-engine execution per head —
     :meth:`~repro.mapping.plan.ExecutionPlan.execute_on_ap`, how the
     cluster executed before the plan layer), by the pre-cluster row-by-row
     replacement path (one per-vector AP execution per ``(batch, head)``
-    pair), and by the pure-software integer pipeline.  All four must be
+    pair), and by the pure-software integer pipeline.  All five must be
     bit-identical; the timings pin the fused path's speedups.
+
+    The two fast legs (vectorized and compiled) finish in microseconds at
+    the default shape, so each is warmed once and timed over
+    ``fast_iterations`` repeats (average reported) — the slow loop legs
+    stay single-shot.
     """
+    check_positive_int(fast_iterations, "fast_iterations")
     rng = np.random.default_rng(seed)
     scores = rng.normal(0.0, 2.0, size=(batch, heads, sequence_length))
 
     cluster = ApCluster(
         num_heads=heads, precision=precision, sequence_length=sequence_length
     )
+    cluster.execute(scores)  # warm-up: plan + executor state
     start = time.perf_counter()
-    cluster_probabilities = cluster.execute(scores)
-    cluster_seconds = time.perf_counter() - start
+    for _ in range(fast_iterations):
+        cluster_probabilities = cluster.execute(scores)
+    cluster_seconds = (time.perf_counter() - start) / fast_iterations
+
+    cluster.execute(scores, backend="compiled")  # warm-up: arena pool
+    start = time.perf_counter()
+    for _ in range(fast_iterations):
+        compiled_probabilities = cluster.execute(scores, backend="compiled")
+    compiled_seconds = (time.perf_counter() - start) / fast_iterations
 
     # PR 2 baseline: the per-head Python loop, each head's (batch, seq)
     # block issued as per-operation engine sweeps over its own CAM.
@@ -426,6 +472,10 @@ def run_ap_cluster_equivalence(
         cluster_seconds=cluster_seconds,
         per_head_loop_seconds=loop_seconds,
         row_by_row_seconds=row_seconds,
+        compiled_seconds=compiled_seconds,
+        compiled_identical=bool(
+            np.array_equal(cluster_probabilities, compiled_probabilities)
+        ),
     )
 
 
@@ -506,6 +556,7 @@ def run_inference_speed(
     seed: int = 0,
     softmax_backend: str = "integer",
     max_batch: Optional[int] = 4,
+    engine: Optional[str] = None,
 ) -> InferenceSpeedReport:
     """Time the perplexity sweep against the seed path (single worker).
 
@@ -523,6 +574,8 @@ def run_inference_speed(
             f"softmax_backend {softmax_backend!r} ignores the precision "
             f"grid; choose one of {', '.join(PRECISION_SWEEP_BACKENDS)}"
         )
+    if engine is not None:
+        engine = canonical_engine_name(engine)
     if model is None or corpus is None:
         model, corpus = train_reference_model(seed=seed, training_steps=training_steps)
     segment = model.config.max_context - 16
@@ -540,14 +593,14 @@ def run_inference_speed(
     def batched_fn(config: Optional[PrecisionConfig]) -> Optional[SoftmaxFn]:
         if config is None:
             return None
-        return _sweep_softmax_fn(config, softmax_backend, heads, segment)
+        return _sweep_softmax_fn(config, softmax_backend, heads, segment, engine)
 
     def seed_fn(config: Optional[PrecisionConfig]) -> Optional[SoftmaxFn]:
         if config is None:
             return None
         if canonical == "integer":
             return _SeedGroupedIntegerSoftmaxFn(config)
-        return _sweep_softmax_fn(config, softmax_backend, heads, segment)
+        return _sweep_softmax_fn(config, softmax_backend, heads, segment, engine)
 
     grid: List[Optional[PrecisionConfig]] = [None] + configurations
     batched_seconds = loop_seconds = 0.0
@@ -660,13 +713,18 @@ def render_fidelity_table(points: List[FidelityPoint]) -> str:
 def render_cluster_equivalence(report: ClusterEquivalenceReport) -> str:
     """Render the AP-cluster parity report."""
     verdict = "bit-identical" if report.bit_identical else "DIVERGED"
+    compiled_verdict = (
+        "bit-identical" if report.compiled_identical else "DIVERGED"
+    )
     return (
         f"AP cluster parity ({report.batch} batch x {report.heads} heads "
         f"x {report.sequence_length} seq): {verdict} to the software "
         f"pipeline; fused {report.cluster_seconds:.3f}s vs per-head loop "
         f"{report.per_head_loop_seconds:.3f}s -> {report.fused_speedup:.1f}x "
         f"(row-by-row {report.row_by_row_seconds:.3f}s -> "
-        f"{report.speedup:.1f}x)"
+        f"{report.speedup:.1f}x); compiled engine {compiled_verdict}, "
+        f"{report.compiled_seconds:.4f}s -> {report.compiled_speedup:.1f}x "
+        f"over vectorized"
     )
 
 

@@ -47,12 +47,13 @@ and the makespan of ``n`` batches is
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.ap.engine import canonical_engine_name
+from repro.ap.engine import canonical_engine_name, is_plan_engine
 from repro.ap.tech import TECH_16NM, TechnologyParameters
 from repro.mapping.dataflow import StepKind
 from repro.mapping.plan import PlanTelemetry, WorkloadPass, plan_passes
@@ -61,6 +62,11 @@ from repro.quant.precision import BEST_PRECISION, PrecisionConfig
 from repro.utils.validation import check_positive_int
 
 __all__ = ["ApCluster", "ClusterCost", "ClusterSchedule", "ClusterSoftmaxFn"]
+
+#: Distinct (vectors, sequence_length) tilings memoised per cluster.  The
+#: decode loop walks sequence lengths 1..T, so the cache is sized to hold a
+#: full generation sweep of typical depth plus the prefill shapes.
+_PASS_CACHE_SIZE = 4096
 
 
 @dataclass(frozen=True)
@@ -197,6 +203,13 @@ class ApCluster:
         two-stage :meth:`schedule` pipeline, and sequences up to the budget
         are accepted even beyond the per-head provisioned length — the
         fused row space spans the whole cluster, not one head's AP.
+    pass_workers:
+        Optional worker-thread count for executing independent planner
+        passes concurrently (each pass owns a disjoint slice of the output,
+        so results stay bit-identical).  ``None``/``1`` keeps the serial
+        loop.  Only engines with a thread-safe plan executor benefit — the
+        compiled engine's arena pool hands each worker its own scratch.
+        Simulator wall-clock only; the analytical cost model is unchanged.
     """
 
     def __init__(
@@ -211,6 +224,7 @@ class ApCluster:
         clip_threshold: Optional[float] = None,
         backend: str = "vectorized",
         pass_row_budget: Optional[int] = None,
+        pass_workers: Optional[int] = None,
     ) -> None:
         self.num_heads = check_positive_int(num_heads, "num_heads")
         self.sequence_length = check_positive_int(sequence_length, "sequence_length")
@@ -218,6 +232,16 @@ class ApCluster:
         if pass_row_budget is not None:
             check_positive_int(pass_row_budget, "pass_row_budget")
         self.pass_row_budget = pass_row_budget
+        if pass_workers is not None:
+            check_positive_int(pass_workers, "pass_workers")
+        self.pass_workers = pass_workers
+        #: Passes executed on worker threads by the most recent
+        #: :meth:`execute` call (0 when the serial loop ran).
+        self.last_threaded_passes = 0
+        # plan_passes output per (vectors, sequence_length): the tiling is
+        # pure in its inputs, and the single-pass fast path dominates the
+        # decode loop (one lookup per token instead of re-planning).
+        self._pass_cache: Dict[Tuple[int, int], List[WorkloadPass]] = {}
         # One shared mapping/plan: heads are structurally identical, so the
         # lowered program and its cost are compiled once for the whole
         # cluster instead of once per head.
@@ -252,33 +276,56 @@ class ApCluster:
         return self.mapping
 
     def workload_passes(self, vectors: int, sequence_length: int) -> List[WorkloadPass]:
-        """The planner's pass list for ``vectors`` softmax vectors."""
-        return plan_passes(
-            vectors, sequence_length, row_budget=self.pass_row_budget
-        )
+        """The planner's pass list for ``vectors`` softmax vectors (cached).
+
+        Every ``execute`` call used to re-derive the tiling through
+        :func:`~repro.mapping.plan.plan_passes` even when the workload fits
+        a single pass; the pass list is pure in ``(vectors, sequence_length,
+        row_budget)``, so it is memoised on the cluster instead.
+        """
+        key = (vectors, sequence_length)
+        passes = self._pass_cache.get(key)
+        if passes is None:
+            passes = plan_passes(
+                vectors, sequence_length, row_budget=self.pass_row_budget
+            )
+            if len(self._pass_cache) >= _PASS_CACHE_SIZE:
+                self._pass_cache.pop(next(iter(self._pass_cache)))
+            self._pass_cache[key] = passes
+        return passes
 
     def plan_telemetry(
         self,
         vectors: int,
         sequence_length: int,
         engine: Optional[str] = None,
+        wall_seconds: float = 0.0,
+        threaded_passes: int = 0,
     ) -> PlanTelemetry:
         """Plan-level telemetry describing one execution.
 
-        ``fused`` reports whether the packed fast path actually runs for
-        this shape/engine combination — ``False`` when the reference engine
-        interprets the program on the AP or the layout is not packable.
+        ``fused`` reports whether a registered plan executor actually runs
+        for this shape/engine combination — ``False`` when the reference
+        engine interprets the program on the AP or the layout is not
+        packable.  ``wall_seconds``/``threaded_passes`` let the caller
+        attach the measured execution they describe; the arena stats come
+        from the plan's buffer-liveness pass and the engine's executor.
         """
         engine = canonical_engine_name(engine) if engine else self.backend
         passes = self.workload_passes(vectors, sequence_length)
         plan = self.mapping.plan(sequence_length=sequence_length)
+        fused = is_plan_engine(engine) and plan.packable
         return PlanTelemetry(
-            fused=engine == "vectorized" and plan.packable,
+            fused=fused,
             engine=engine,
             passes=len(passes),
             vectors=vectors,
             segment_length=sequence_length,
             words_per_pass=tuple(p.words for p in passes),
+            arena_slots=plan.buffers.num_slots if fused else 0,
+            arena_bytes=plan.arena_bytes(engine),
+            threaded_passes=threaded_passes,
+            wall_seconds=wall_seconds,
         )
 
     def execute(
@@ -332,14 +379,21 @@ class ApCluster:
         valid_lengths: Optional[np.ndarray],
         backend: Optional[str] = None,
     ) -> np.ndarray:
-        """Run a head-major ``(vectors, seq)`` row space pass by pass."""
+        """Run a head-major ``(vectors, seq)`` row space pass by pass.
+
+        Planner passes own disjoint row ranges of the output, so with
+        ``pass_workers`` set they execute on a thread pool — bit-identical
+        to the serial loop by construction.
+        """
         passes = self.workload_passes(rows.shape[0], rows.shape[1])
+        self.last_threaded_passes = 0
         if len(passes) == 1:
             return self.mapping.execute_functional_batch(
                 rows, backend=backend, valid_lengths=valid_lengths
             )
         probabilities = np.empty_like(rows)
-        for tile in passes:
+
+        def run_tile(tile: WorkloadPass) -> None:
             chunk = slice(tile.start, tile.start + tile.vectors)
             probabilities[chunk] = self.mapping.execute_functional_batch(
                 rows[chunk],
@@ -348,6 +402,16 @@ class ApCluster:
                     None if valid_lengths is None else valid_lengths[chunk]
                 ),
             )
+
+        workers = min(self.pass_workers or 1, len(passes))
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # list() propagates the first worker exception, if any.
+                list(pool.map(run_tile, passes))
+            self.last_threaded_passes = len(passes)
+        else:
+            for tile in passes:
+                run_tile(tile)
         return probabilities
 
     def _check_capacity(self, sequence_length: int) -> None:

@@ -52,7 +52,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.ap.cost import ApCostModel, OperationCost
-from repro.ap.engine import MAX_FIELD_BITS, canonical_engine_name
+from repro.ap.engine import (
+    MAX_FIELD_BITS,
+    canonical_engine_name,
+    engine_info,
+    resolve_plan_executor,
+)
 from repro.ap.processor2d import AssociativeProcessor2D
 from repro.ap.tech import TECH_16NM, TechnologyParameters
 from repro.mapping.dataflow import (
@@ -68,14 +73,17 @@ from repro.utils.bitwidth import bits_for_unsigned
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "BufferPlan",
     "ExecutionPlan",
     "MappingCost",
+    "PackedExecutor",
     "PlanField",
     "PlanOp",
     "PlanTelemetry",
     "StepCost",
     "WorkloadPass",
     "multiplication_cycles_general",
+    "plan_buffers",
     "plan_passes",
 ]
 
@@ -236,6 +244,150 @@ class PlanOp:
 
 
 # --------------------------------------------------------------------------- #
+# Buffer liveness: fields -> scratch-arena slots                               #
+# --------------------------------------------------------------------------- #
+def _op_reads(op: PlanOp) -> Tuple[str, ...]:
+    """Field names one lowered instruction reads."""
+    if op.op in ("multiply", "shift_right", "subtract", "add", "divide"):
+        return tuple(name for name in (op.a, op.b) if name is not None)
+    if op.op in ("copy", "reduce_broadcast"):
+        return (op.a,) if op.a is not None else ()
+    if op.op == "mask_padding":
+        # Reads and rewrites its destination in place.
+        return (op.dest,) if op.dest is not None else ()
+    return ()
+
+
+def _op_writes(op: PlanOp) -> Tuple[str, ...]:
+    """Field names one lowered instruction writes."""
+    if op.op == "subtract":
+        return (op.a,)
+    if op.op == "add":
+        return (op.b,)
+    if op.op == "divide":
+        return tuple(name for name in (op.dest, op.remainder) if name is not None)
+    return (op.dest,) if op.dest is not None else ()
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """The lowering layer's buffer-liveness result: fields -> arena slots.
+
+    Computed once per compiled plan from the lowered :class:`PlanOp` list:
+    every *vector* field (one word per AP row) gets a first/last-use
+    interval and a slot in a preallocated scratch arena, assigned by linear
+    scan so fields with disjoint live ranges share storage.  The peak slot
+    count — ``num_slots``, the arena height a compiled executor has to
+    allocate — is what :class:`PlanTelemetry` reports as ``arena_slots``.
+
+    Three field classes never consume a slot:
+
+    * ``scalar_fields`` — fields whose only writes are ``write_const`` and
+      that are never mutated row-wise (``mu``/``vln2``/``vc``): their value
+      is one compile-time constant, folded into the consuming instructions.
+    * ``dead_fields`` — fields written but never read and not the program
+      result (the division ``rem`` scratch): a word-level executor never
+      materialises them (the bit-serial AP needs the physical columns, a
+      numpy ``floor_divide`` does not).
+    * fields absent from the program entirely.
+
+    Slot assignment is conservative: a destination never shares a slot with
+    an operand of the same instruction (a freed interval becomes reusable
+    only *after* the instruction that last reads it), so in-place execution
+    against the arena can never read a half-overwritten operand.
+    """
+
+    slots: Dict[str, int]
+    num_slots: int
+    scalar_fields: Tuple[str, ...]
+    dead_fields: Tuple[str, ...]
+    first_use: Dict[str, int]
+    last_use: Dict[str, int]
+
+
+def plan_buffers(
+    program: Tuple[PlanOp, ...],
+    fields: Tuple[PlanField, ...],
+    result: str = "out",
+) -> BufferPlan:
+    """Run the buffer-liveness pass over one lowered program.
+
+    ``result`` names the field whose final value is the program output; it
+    is kept live through the end of the program regardless of its last
+    textual read.
+    """
+    field_names = {field.name for field in fields}
+    writes_by_field: Dict[str, List[str]] = {}
+    read_fields: set = set()
+    for op in program:
+        for name in _op_writes(op):
+            writes_by_field.setdefault(name, []).append(op.op)
+        read_fields.update(_op_reads(op))
+
+    scalar_fields = tuple(
+        name
+        for name in (field.name for field in fields)
+        if writes_by_field.get(name) and
+        all(write == "write_const" for write in writes_by_field[name])
+    )
+    scalar_set = set(scalar_fields)
+    dead_fields = tuple(
+        name
+        for name in (field.name for field in fields)
+        if name in writes_by_field
+        and name not in read_fields
+        and name != result
+        and name not in scalar_set
+    )
+    dead_set = set(dead_fields)
+
+    first_use: Dict[str, int] = {}
+    last_use: Dict[str, int] = {}
+    for index, op in enumerate(program):
+        for name in (*_op_reads(op), *_op_writes(op)):
+            if name in scalar_set or name in dead_set:
+                continue
+            if name not in field_names:
+                raise ValueError(f"op {index} references unknown field {name!r}")
+            first_use.setdefault(name, index)
+            last_use[name] = index
+    if result in last_use:
+        # The result is read by whoever executes the plan, after the
+        # program's final instruction.
+        last_use[result] = len(program)
+
+    # Linear scan over the op list: release a field's slot only after the
+    # instruction that last touches it, so a same-instruction destination
+    # can never alias a live operand.
+    slots: Dict[str, int] = {}
+    free: List[int] = []
+    num_slots = 0
+    expiring: Dict[int, List[str]] = {}
+    for name, end in last_use.items():
+        expiring.setdefault(end, []).append(name)
+    starting: Dict[int, List[str]] = {}
+    for name, start in first_use.items():
+        starting.setdefault(start, []).append(name)
+    for index in range(len(program) + 1):
+        for name in starting.get(index, ()):
+            if free:
+                slots[name] = free.pop()
+            else:
+                slots[name] = num_slots
+                num_slots += 1
+        for name in expiring.get(index, ()):
+            free.append(slots[name])
+    return BufferPlan(
+        slots=slots,
+        num_slots=num_slots,
+        scalar_fields=scalar_fields,
+        dead_fields=dead_fields,
+        first_use=first_use,
+        last_use=last_use,
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Workload tiling                                                              #
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -257,7 +409,17 @@ class PlanTelemetry:
     """Plan-level execution telemetry attached to a ``SoftmaxResult``.
 
     Records how the runtime actually executed a pass: whether the fused
-    plan path ran, on which engine, and how the planner tiled the workload.
+    plan path ran, on which engine, how the planner tiled the workload,
+    and — since the compiled engine tier — the scratch-arena footprint and
+    wall-clock of the execution.
+
+    ``arena_slots`` is the buffer-liveness pass's peak slot count (the
+    height of the scratch arena a compiled executor allocates);
+    ``arena_bytes`` the bytes the executing engine has actually allocated
+    for arenas (0 for engines that do not use one); ``threaded_passes``
+    how many planner passes ran on a worker thread (0 for serial
+    execution); ``wall_seconds`` the measured wall-clock of the execution
+    that produced this telemetry (0.0 where the caller did not time it).
     """
 
     fused: bool
@@ -266,6 +428,10 @@ class PlanTelemetry:
     vectors: int
     segment_length: int
     words_per_pass: Tuple[int, ...]
+    arena_slots: int = 0
+    arena_bytes: int = 0
+    threaded_passes: int = 0
+    wall_seconds: float = 0.0
 
 
 def plan_passes(
@@ -456,6 +622,13 @@ class ExecutionPlan:
         #: does not (exotic custom widths), vectorized execution falls back
         #: to the per-operation engine on the functional AP.
         self.packable = all(f.bits <= MAX_FIELD_BITS for f in self.fields)
+        #: Buffer-liveness result: vector fields assigned to scratch-arena
+        #: slots, scalar constants folded out, dead scratch dropped.
+        self.buffers: BufferPlan = plan_buffers(self.program, self.fields)
+        # Plan executors (engine name -> executor instance), built lazily on
+        # first dispatch.  Plain-dict access is safe under concurrent
+        # passes: a rare double construction just discards one instance.
+        self._executors: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
     # Analytical cost                                                      #
@@ -492,18 +665,50 @@ class ExecutionPlan:
     ) -> np.ndarray:
         """Run the plan over a ``(vectors, segment_length)`` score tensor.
 
-        With the ``"vectorized"`` engine the fused packed path executes the
-        whole row space in one wide invocation; ``"reference"`` interprets
-        the program on the bit-serial functional AP.  Results are
-        bit-identical across engines and to the pre-plan per-head loop.
+        Engines with a registered plan executor (``"vectorized"``'s fused
+        packed path, ``"compiled"``'s scratch-arena executor) run the whole
+        row space in one wide invocation; ``"reference"`` interprets the
+        program on the bit-serial functional AP.  Results are bit-identical
+        across every engine and to the pre-plan per-head loop.
         """
         engine = canonical_engine_name(engine) if engine is not None else self.engine
         z, pad_mask, batch = self._prepare(scores, valid_lengths)
-        if engine == "vectorized" and self.packable:
-            out = self._run_packed(z, pad_mask, batch)
+        info = engine_info(engine)
+        if info.plan_executor is not None and self.packable:
+            out = self.plan_executor(engine).run(z, pad_mask, batch)
         else:
-            out = self._run_ap(z, pad_mask, batch, engine)
+            # Plan-only engines cannot serve per-operation CAM sweeps; a
+            # non-packable layout falls back to the packed-word AP engine.
+            ap_engine = engine if info.supports_processor else "vectorized"
+            out = self._run_ap(z, pad_mask, batch, ap_engine)
         return out * (2.0 ** -self.output_fraction_bits)
+
+    def plan_executor(self, engine: Optional[str] = None):
+        """The (cached) plan-executor instance for ``engine``.
+
+        Resolved through the engine registry's lazy ``module:attribute``
+        reference; one executor is built per (plan, engine) pair and holds
+        the engine's reusable execution state (the compiled engine's
+        scratch-arena pool).
+        """
+        engine = canonical_engine_name(engine) if engine is not None else self.engine
+        executor = self._executors.get(engine)
+        if executor is None:
+            executor = resolve_plan_executor(engine)(self)
+            self._executors.setdefault(engine, executor)
+            executor = self._executors[engine]
+        return executor
+
+    def arena_bytes(self, engine: Optional[str] = None) -> int:
+        """Scratch-arena bytes the engine's executor has allocated so far.
+
+        0 for engines without a plan executor or whose executor has not
+        run yet, and for executors that do not preallocate scratch (the
+        packed path allocates per call).
+        """
+        engine = canonical_engine_name(engine) if engine is not None else self.engine
+        executor = self._executors.get(engine)
+        return int(getattr(executor, "arena_bytes", 0)) if executor else 0
 
     def execute_on_ap(
         self,
@@ -516,9 +721,12 @@ class ExecutionPlan:
         This is the pre-plan execution mode — every instruction issued as
         CAM compare/write sweeps through the selected per-operation engine.
         It is the ground-truth substrate the fused path is pinned against
-        (and the PR 2 baseline of the fused-vs-loop benchmark).
+        (and the PR 2 baseline of the fused-vs-loop benchmark).  Plan-only
+        engines (``"compiled"``) have no per-operation mode and are
+        rejected with a did-you-mean suggestion.
         """
-        engine = canonical_engine_name(engine) if engine is not None else self.engine
+        engine = engine if engine is not None else self.engine
+        engine = canonical_engine_name(engine, processor=True)
         z, pad_mask, batch = self._prepare(scores, valid_lengths)
         out = self._run_ap(z, pad_mask, batch, engine)
         return out * (2.0 ** -self.output_fraction_bits)
@@ -683,3 +891,29 @@ class ExecutionPlan:
             else:  # pragma: no cover - lowering and executor move together
                 raise ValueError(f"unknown plan opcode {op.op!r}")
         return ap.read_field(fields["out"]).astype(np.float64).reshape(batch, n)
+
+
+# --------------------------------------------------------------------------- #
+# Plan executors                                                               #
+# --------------------------------------------------------------------------- #
+class PackedExecutor:
+    """The ``"vectorized"`` engine's plan executor: the fused packed path.
+
+    A thin adapter satisfying the registry's plan-executor protocol
+    (``factory(plan) -> object with run(z, pad_mask, batch)``) over
+    :meth:`ExecutionPlan._run_packed` — the dict-of-arrays interpreter that
+    allocates fresh temporaries per instruction.  The ``"compiled"``
+    engine (:class:`repro.ap.compiled.CompiledEngine`) is the
+    buffer-planned, allocation-free successor.
+    """
+
+    #: Allocates per call; no preallocated scratch arena to report.
+    arena_bytes = 0
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self._plan = plan
+
+    def run(
+        self, z: np.ndarray, pad_mask: Optional[np.ndarray], batch: int
+    ) -> np.ndarray:
+        return self._plan._run_packed(z, pad_mask, batch)

@@ -27,6 +27,7 @@ Algorithm 1 because ``vcorr = -(z mod vln2)``.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Tuple
 
@@ -130,6 +131,10 @@ class SoftmAPMapping:
         self.clip_threshold = clip_threshold
         self.plan_cache_size = check_positive_int(plan_cache_size, "plan_cache_size")
         self._plans: "OrderedDict[Tuple[int, int], ExecutionPlan]" = OrderedDict()
+        # The LRU bookkeeping (move_to_end / eviction) mutates shared state,
+        # so concurrent planner passes serialise on this lock; plan
+        # compilation itself stays outside any hot path.
+        self._plan_lock = threading.Lock()
         self._provisioned_key = (
             self.sequence_length,
             self.precision.result_column_bits,
@@ -169,10 +174,11 @@ class SoftmAPMapping:
         if output_fraction_bits is None:
             output_fraction_bits = self.precision.result_column_bits
         key = (sequence_length, output_fraction_bits)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self._plans.move_to_end(key)
-            return plan
+        with self._plan_lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                return plan
         plan = ExecutionPlan(
             precision=self.precision,
             sequence_length=sequence_length,
@@ -184,14 +190,18 @@ class SoftmAPMapping:
             engine=self.backend,
             output_fraction_bits=output_fraction_bits,
         )
-        self._plans[key] = plan
-        while len(self._plans) > self.plan_cache_size:
-            victim = next(
-                (k for k in self._plans if k != self._provisioned_key), None
-            )
-            if victim is None:
-                break
-            del self._plans[victim]
+        with self._plan_lock:
+            # Two threads may have compiled the same shape concurrently;
+            # keep the first (its executors may already hold arena state).
+            plan = self._plans.setdefault(key, plan)
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.plan_cache_size:
+                victim = next(
+                    (k for k in self._plans if k != self._provisioned_key), None
+                )
+                if victim is None:
+                    break
+                del self._plans[victim]
         return plan
 
     # ------------------------------------------------------------------ #

@@ -42,12 +42,13 @@ per-module string checks that used to be scattered across ``experiments/``,
 from __future__ import annotations
 
 import difflib
+import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.ap.engine import canonical_engine_name
+from repro.ap.engine import canonical_engine_name, is_plan_engine
 from repro.gpu.softmax_model import GpuSoftmaxModel, KernelCost
 from repro.gpu.spec import GPUS, GpuSpec
 from repro.mapping.cluster import ApCluster
@@ -220,9 +221,11 @@ class BackendSpec:
         Attention-head count (required by ``ap-cluster``, which shards
         head-major score matrices across one AP per head).
     engine:
-        Functional AP engine — ``"reference"`` (bit-serial ground truth) or
-        ``"vectorized"`` (packed-word, bit-identical); ``None`` -> the
-        fast path for cluster/batch and reference semantics elsewhere.
+        Functional AP engine — any name in the engine registry:
+        ``"reference"`` (bit-serial ground truth), ``"vectorized"``
+        (packed-word, bit-identical) or ``"compiled"`` (buffer-planned
+        scratch-arena executor, bit-identical); ``None`` -> the fast path
+        for cluster/batch and reference semantics elsewhere.
     options:
         Extra keyword arguments forwarded to the underlying implementation
         (e.g. ``barrett_correction`` / ``sum_overflow`` for ``integer``,
@@ -506,11 +509,14 @@ class ApBatchBackend(_ApBackendBase):
     def _run(self, scores, lengths):
         rows = self._rows_view(scores)
         self._check_provisioned(rows.shape[1])
+        start = time.perf_counter()
         probabilities = self._mapping.execute_functional_batch(
             rows, valid_lengths=lengths
         )
+        wall = time.perf_counter() - start
         cost = self._pass_cost(rows.shape[1])
         plan = self._mapping.plan(sequence_length=rows.shape[1])
+        fused = is_plan_engine(self.engine) and plan.packable
         return SoftmaxResult(
             probabilities=probabilities.reshape(scores.shape),
             cost=BackendCost(
@@ -521,12 +527,15 @@ class ApBatchBackend(_ApBackendBase):
             cycles=cost.cycles,
             backend=self.spec.name,
             plan=PlanTelemetry(
-                fused=self.engine == "vectorized" and plan.packable,
+                fused=fused,
                 engine=self.engine,
                 passes=1,
                 vectors=rows.shape[0],
                 segment_length=rows.shape[1],
                 words_per_pass=(rows.shape[0] * rows.shape[1],),
+                arena_slots=plan.buffers.num_slots if fused else 0,
+                arena_bytes=plan.arena_bytes(self.engine),
+                wall_seconds=wall,
             ),
         )
 
@@ -604,10 +613,17 @@ class ApClusterBackend(_BackendBase):
                 )
             # Planner first: an over-budget vector must be rejected before
             # any execution, exactly like the fused 2-D/3-D paths.
-            telemetry = self.cluster.plan_telemetry(1, scores.size, self.engine)
+            self.cluster.plan_telemetry(1, scores.size, self.engine)
+            start = time.perf_counter()
             probabilities = self.cluster.head_mapping(0).execute_functional_batch(
                 scores[None, :], backend=self.engine, valid_lengths=lengths
             )[0]
+            # Re-read after execution so the arena stats reflect the
+            # executor this pass actually ran on.
+            telemetry = self.cluster.plan_telemetry(
+                1, scores.size, self.engine,
+                wall_seconds=time.perf_counter() - start,
+            )
             # Only head 0's AP executes a 1-D vector: charge one per-head
             # pass, not the whole cluster's energy/area.
             per_head = self._cluster_cost(scores.size).per_head
@@ -634,9 +650,11 @@ class ApClusterBackend(_BackendBase):
             per_head_lengths = (
                 None if lengths is None else lengths.reshape(heads, batch).T
             )
+            start = time.perf_counter()
             probabilities = self.cluster.execute(
                 stacked, valid_lengths=per_head_lengths, backend=self.engine
             )
+            wall = time.perf_counter() - start
             probabilities = probabilities.transpose(1, 0, 2).reshape(scores.shape)
         elif scores.ndim == 3:
             batch = scores.shape[0]
@@ -645,9 +663,11 @@ class ApClusterBackend(_BackendBase):
                 if lengths is None
                 else lengths.reshape(batch, scores.shape[1])
             )
+            start = time.perf_counter()
             probabilities = self.cluster.execute(
                 scores, valid_lengths=per_head_lengths, backend=self.engine
             )
+            wall = time.perf_counter() - start
         else:
             raise ValueError(
                 "ap-cluster accepts a 1-D vector, a head-major (rows, seq) "
@@ -656,7 +676,11 @@ class ApClusterBackend(_BackendBase):
         sequence_length = scores.shape[-1]
         cluster_cost = self._cluster_cost(sequence_length)
         telemetry = self.cluster.plan_telemetry(
-            heads * batch, sequence_length, self.engine
+            heads * batch,
+            sequence_length,
+            self.engine,
+            wall_seconds=wall,
+            threaded_passes=self.cluster.last_threaded_passes,
         )
         if telemetry.passes > 1:
             # A tiled workload flows through the two-stage load/compute

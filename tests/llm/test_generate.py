@@ -124,7 +124,7 @@ class TestBackendParity:
                                   softmax_fn=fn, use_cache=False)
         assert np.array_equal(cached, baseline)
 
-    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    @pytest.mark.parametrize("engine", ["vectorized", "reference", "compiled"])
     def test_cluster_engines_match_reprefill(self, trained, engine):
         model, corpus = trained
         prompts = _prompts(model, corpus, 2, 6)

@@ -92,9 +92,9 @@ class TestInferForwardParity:
         via_forward = model.forward(tokens, softmax_fn=fn).numpy()
         assert np.array_equal(via_forward, model.infer(tokens, softmax_fn=fn))
 
-    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    @pytest.mark.parametrize("engine", ["vectorized", "reference", "compiled"])
     def test_cluster_engines_bit_identical(self, trained, engine):
-        """Both functional AP engines agree between forward and infer."""
+        """Every functional AP engine agrees between forward and infer."""
         model, corpus = trained
         tokens = corpus.validation_tokens[:6]
         fn = _backend_fn(model, "ap-cluster", engine=engine)

@@ -28,7 +28,7 @@ class TestFusedParityProperty:
         heads=st.integers(1, 3),          # includes the non-power-of-two 3
         batch=st.integers(1, 2),
         seq=st.integers(2, 9),            # includes odd lengths
-        engine=st.sampled_from(["vectorized", "reference"]),
+        engine=st.sampled_from(["vectorized", "reference", "compiled"]),
         ragged=st.booleans(),
         seed=st.integers(0, 2**16),
     )
@@ -43,14 +43,17 @@ class TestFusedParityProperty:
         fused = cluster.execute(scores, valid_lengths=lengths, backend=engine)
 
         # The per-head loop on the functional AP (per-operation engine
-        # sweeps): the execution mode the fused pass replaced.
+        # sweeps): the execution mode the fused pass replaced.  The compiled
+        # engine is plan-only, so its loop baseline runs the packed-word
+        # processor (itself pinned bit-identical to the reference sweep).
+        loop_engine = engine if engine != "compiled" else "vectorized"
         plan = cluster.mapping.plan(sequence_length=seq)
         looped = np.empty_like(scores)
         for h in range(heads):
             looped[:, h, :] = plan.execute_on_ap(
                 scores[:, h, :],
                 valid_lengths=None if lengths is None else lengths[:, h],
-                engine=engine,
+                engine=loop_engine,
             )
         assert np.array_equal(fused, looped)
 
@@ -63,9 +66,12 @@ class TestFusedParityProperty:
     def test_engines_agree_on_the_fused_row_space(self, rng):
         scores = rng.normal(0.0, 2.0, size=(2, 3, 7))
         cluster = ApCluster(num_heads=3, sequence_length=7)
+        vectorized = cluster.execute(scores, backend="vectorized")
         assert np.array_equal(
-            cluster.execute(scores, backend="vectorized"),
-            cluster.execute(scores, backend="reference"),
+            vectorized, cluster.execute(scores, backend="reference")
+        )
+        assert np.array_equal(
+            vectorized, cluster.execute(scores, backend="compiled")
         )
 
 
@@ -157,6 +163,8 @@ class TestEngineValidation:
             canonical_engine_name("vectorised")
         with pytest.raises(UnknownEngineError, match="did you mean 'reference'"):
             canonical_engine_name("refrence")
+        with pytest.raises(UnknownEngineError, match="did you mean 'compiled'"):
+            canonical_engine_name("complied")
 
     def test_validation_is_eager_at_every_construction_seam(self):
         with pytest.raises(UnknownEngineError):
@@ -169,6 +177,29 @@ class TestEngineValidation:
             BackendSpec(name="ap-batch", engine="refrence")
         with pytest.raises(UnknownEngineError):
             AssociativeProcessor2D(rows=2, columns=8, backend="packed")
+
+    def test_compiled_is_selectable_at_every_construction_seam(self):
+        assert SoftmAPMapping(BEST_PRECISION, 16, backend="compiled").backend == (
+            "compiled"
+        )
+        assert ApCluster(
+            num_heads=2, sequence_length=16, backend="compiled"
+        ).backend == "compiled"
+        assert ExecutionPlan(sequence_length=16, engine="compiled").engine == (
+            "compiled"
+        )
+        assert BackendSpec(name="ap-batch", engine="compiled").engine == "compiled"
+
+    def test_processor_seams_reject_the_plan_only_engine(self):
+        """The compiled engine has no per-operation CAM-sweep mode: the
+        processor constructors and execute_on_ap must refuse it with the
+        same did-you-mean error family as a typo."""
+        with pytest.raises(UnknownEngineError):
+            AssociativeProcessor2D(rows=2, columns=8, backend="compiled")
+        with pytest.raises(UnknownEngineError):
+            ExecutionPlan(sequence_length=8).execute_on_ap(
+                np.zeros((1, 8)), engine="compiled"
+            )
 
     def test_unknown_engine_is_a_value_error(self):
         """Callers catching the historical ValueError keep working."""
@@ -242,6 +273,42 @@ class TestPlanTelemetry:
             rng.normal(0.0, 2.0, size=(2, 8))
         )
         assert result.plan is None
+
+    def test_compiled_telemetry_reports_arena_and_wall_clock(self, rng):
+        backend = resolve_backend(
+            "ap-cluster", num_heads=2, sequence_length=8, engine="compiled"
+        )
+        result = backend.run(rng.normal(0.0, 2.0, size=(2, 2, 8)))
+        assert result.plan.fused and result.plan.engine == "compiled"
+        assert result.plan.arena_slots > 0
+        assert result.plan.arena_bytes > 0  # the executor's pool is live
+        assert result.plan.wall_seconds > 0.0
+        # The reference engine interprets on the AP: no arena, not fused.
+        reference = resolve_backend(
+            "ap-cluster", num_heads=2, sequence_length=8, engine="reference"
+        ).run(rng.normal(0.0, 2.0, size=(2, 2, 8)))
+        assert not reference.plan.fused
+        assert reference.plan.arena_slots == 0
+        assert reference.plan.arena_bytes == 0
+
+    def test_threaded_passes_surface_through_telemetry(self, rng):
+        backend = resolve_backend(
+            "ap-cluster",
+            num_heads=2,
+            sequence_length=8,
+            engine="compiled",
+            options={"pass_row_budget": 16, "pass_workers": 2},
+        )
+        result = backend.run(rng.normal(0.0, 2.0, size=(3, 2, 8)))
+        assert result.plan.passes == 3
+        assert result.plan.threaded_passes == 3
+        serial = resolve_backend(
+            "ap-cluster",
+            num_heads=2,
+            sequence_length=8,
+            options={"pass_row_budget": 16},
+        ).run(rng.normal(0.0, 2.0, size=(3, 2, 8)))
+        assert serial.plan.threaded_passes == 0
 
 
 class TestExecutionSubstrates:
