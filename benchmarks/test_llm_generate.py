@@ -20,29 +20,11 @@ import os
 import pathlib
 
 from repro.runtime import get_experiment
+from repro.runtime.bench import (
+    GENERATE_SPEEDUP_FLOOR as SPEEDUP_FLOOR,
+    llm_generate_payload as _report_payload,
+)
 from repro.utils.trajectory import record_benchmark
-
-#: Pinned tokens/sec floor of KV-cache decode over naive re-prefill.
-SPEEDUP_FLOOR = 3.0
-
-
-def _report_payload(report) -> dict:
-    return {
-        "workload": {
-            "backend": report.backend,
-            "batch": report.batch,
-            "prompt_length": report.prompt_length,
-            "max_new_tokens": report.max_new_tokens,
-            "temperature": report.temperature,
-        },
-        "tokens_match": report.tokens_match,
-        "cached_seconds": report.cached_seconds,
-        "reprefill_seconds": report.prefill_seconds,
-        "cached_tokens_per_second": report.cached_tokens_per_second,
-        "reprefill_tokens_per_second": report.prefill_tokens_per_second,
-        "decode_speedup": report.speedup,
-        "pinned_floor": SPEEDUP_FLOOR,
-    }
 
 
 def _emit_perf_artifact(report) -> None:

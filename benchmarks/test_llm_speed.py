@@ -23,27 +23,12 @@ import os
 import pathlib
 
 from repro.runtime import get_experiment
+from repro.runtime.bench import (
+    LLM_SPEED_WORKLOAD,
+    SWEEP_SPEEDUP_FLOOR,
+    llm_speed_payload as _report_payload,
+)
 from repro.utils.trajectory import record_benchmark
-
-#: Pinned wall-clock floor of the batched sweep over the seed loop.
-SWEEP_SPEEDUP_FLOOR = 5.0
-
-
-def _report_payload(report) -> dict:
-    return {
-        "workload": {
-            "backend": report.backend,
-            "configurations": report.configurations,
-            "segments": report.segments,
-            "segment_length": report.segment_length,
-            "max_batch": report.max_batch,
-        },
-        "bit_identical": report.bit_identical,
-        "batched_seconds": report.batched_seconds,
-        "seed_loop_seconds": report.loop_seconds,
-        "sweep_speedup": report.speedup,
-        "pinned_floor": SWEEP_SPEEDUP_FLOOR,
-    }
 
 
 def _emit_perf_artifact(report) -> None:
@@ -64,7 +49,7 @@ def test_batched_inference_sweep_beats_seed_loop(benchmark):
     experiment = get_experiment("llm-speed")
     report = benchmark.pedantic(
         experiment.run,
-        args=({"m_values": (4, 6, 8), "n_values": (8, 16), "training_steps": 120},),
+        args=(dict(LLM_SPEED_WORKLOAD),),
         iterations=1,
         rounds=1,
     )

@@ -70,6 +70,12 @@ from repro.experiments.llm_generate import (
     run_generate_speed,
     render_generate_speed,
 )
+from repro.experiments.serve_load import (
+    ServeLoadExperiment,
+    ServeLoadPoint,
+    run_serve_load,
+    render_serve_load,
+)
 
 __all__ = [
     "Fig1Experiment",
@@ -112,4 +118,8 @@ __all__ = [
     "GenerateSpeedReport",
     "run_generate_speed",
     "render_generate_speed",
+    "ServeLoadExperiment",
+    "ServeLoadPoint",
+    "run_serve_load",
+    "render_serve_load",
 ]

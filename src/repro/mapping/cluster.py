@@ -326,6 +326,7 @@ class ApCluster:
             arena_bytes=plan.arena_bytes(engine),
             threaded_passes=threaded_passes,
             wall_seconds=wall_seconds,
+            row_budget=self.pass_row_budget or 0,
         )
 
     def execute(
@@ -372,6 +373,40 @@ class ApCluster:
         stacked = scores.transpose(1, 0, 2).reshape(heads * batch, seq)
         fused = self._execute_rows(stacked, flat_lengths, backend=backend)
         return fused.reshape(heads, batch, seq).transpose(1, 0, 2)
+
+    def execute_rows(
+        self,
+        rows: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+        backend: Optional[str] = None,
+    ) -> np.ndarray:
+        """Execute an arbitrary head-major ``(vectors, seq)`` row space.
+
+        This is the serving layer's admission seam: a coalesced batch of
+        concurrent requests forms one fused row space whose row count is
+        *not* tied to the cluster's head count — vectors are row segments
+        of the shared plan, and the planner tiles them against the
+        ``pass_row_budget`` exactly as :meth:`execute` does for
+        ``(batch, heads, seq)`` tensors.  Each vector's program is
+        independent, so the result is bit-identical to executing every
+        vector (or any sub-batch) alone.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2:
+            raise ValueError(
+                "ApCluster.execute_rows expects a (vectors, seq) row space"
+            )
+        self._check_capacity(rows.shape[1])
+        lengths: Optional[np.ndarray] = None
+        if valid_lengths is not None:
+            lengths = np.asarray(valid_lengths, dtype=np.int64).reshape(-1)
+            if lengths.shape != (rows.shape[0],):
+                raise ValueError(
+                    f"valid_lengths must hold one entry per row "
+                    f"({rows.shape[0]}), got shape "
+                    f"{np.asarray(valid_lengths).shape}"
+                )
+        return self._execute_rows(rows, lengths, backend=backend)
 
     def _execute_rows(
         self,

@@ -420,6 +420,13 @@ class PlanTelemetry:
     how many planner passes ran on a worker thread (0 for serial
     execution); ``wall_seconds`` the measured wall-clock of the execution
     that produced this telemetry (0.0 where the caller did not time it).
+
+    Since the serving layer landed the record also describes cluster-wide
+    utilization: ``row_budget`` is the ``pass_row_budget`` the planner
+    tiled against (0 when unbudgeted — one pass holds the whole workload),
+    and ``queue_depth`` how many coalesced serving requests shared this
+    execution (0 outside the serving layer).  :attr:`words_total` /
+    :attr:`occupancy` derive the rows-used-vs-budget report from those.
     """
 
     fused: bool
@@ -432,6 +439,25 @@ class PlanTelemetry:
     arena_bytes: int = 0
     threaded_passes: int = 0
     wall_seconds: float = 0.0
+    row_budget: int = 0
+    queue_depth: int = 0
+
+    @property
+    def words_total(self) -> int:
+        """AP words occupied across every planner pass of the execution."""
+        return sum(self.words_per_pass)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the provisioned pass rows the workload actually used.
+
+        ``words_total / (passes * row_budget)`` under a ``pass_row_budget``;
+        1.0 when unbudgeted (a single fused pass is exactly as wide as its
+        workload, so the row space has no idle provisioned rows).
+        """
+        if self.row_budget <= 0 or self.passes == 0:
+            return 1.0
+        return self.words_total / (self.passes * self.row_budget)
 
 
 def plan_passes(

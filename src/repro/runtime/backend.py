@@ -75,6 +75,7 @@ __all__ = [
     "canonical_backend_name",
     "resolve_backend",
     "resolve_model_backend",
+    "rows_runner",
 ]
 
 #: Canonical backend names, in presentation order.
@@ -282,7 +283,16 @@ class BackendTelemetry:
 
 @runtime_checkable
 class SoftmaxBackend(Protocol):
-    """Structural protocol every softmax execution backend satisfies."""
+    """Structural protocol every softmax execution backend satisfies.
+
+    Backends *may* additionally provide ``run_rows(rows, valid_lengths)``
+    — execution of an arbitrary ``(rows, seq)`` row space with no
+    head-major layout constraint, the seam the serving layer's coalesced
+    admission batches go through (``ap-cluster`` overrides it to feed the
+    row space straight through the cluster's planner).  It is not part of
+    the required protocol: third-party backends that only implement
+    ``run`` still resolve, and the serving layer falls back to ``run``.
+    """
 
     spec: BackendSpec
     telemetry: BackendTelemetry
@@ -296,6 +306,16 @@ class SoftmaxBackend(Protocol):
     def softmax_fn(self) -> Callable[..., np.ndarray]:
         """Adapter implementing the LLM substrate's ``softmax_fn`` contract."""
         ...
+
+
+def rows_runner(
+    backend: "SoftmaxBackend",
+) -> Callable[..., SoftmaxResult]:
+    """The backend's ``(rows, seq)`` entry point: ``run_rows`` when the
+    backend provides the seam, else plain ``run`` (sufficient for any
+    backend without layout constraints, e.g. third-party protocol
+    implementations)."""
+    return getattr(backend, "run_rows", backend.run)
 
 
 class _BackendSoftmaxFn:
@@ -334,6 +354,16 @@ class _BackendBase:
         result = self._run(scores, lengths)
         self.telemetry.record(result)
         return result
+
+    def run_rows(
+        self, rows: np.ndarray, valid_lengths: Optional[np.ndarray] = None
+    ) -> SoftmaxResult:
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError("run_rows expects a (rows, seq) score matrix")
+        return self.run(rows, valid_lengths=valid_lengths)
 
     def softmax_fn(self) -> _BackendSoftmaxFn:
         return _BackendSoftmaxFn(self)
@@ -599,6 +629,61 @@ class ApClusterBackend(_BackendBase):
                 sequence_length=sequence_length, batch=1
             )
         return self._cost_cache[sequence_length]
+
+    def run_rows(
+        self, rows: np.ndarray, valid_lengths: Optional[np.ndarray] = None
+    ) -> SoftmaxResult:
+        """Execute an arbitrary ``(rows, seq)`` row space on the cluster.
+
+        Unlike :meth:`run`, the row count is **not** required to be a
+        multiple of the head count: a coalesced serving batch stacks rows
+        from many requests, and every row is simply a segment of the
+        cluster's fused row space
+        (:meth:`~repro.mapping.cluster.ApCluster.execute_rows`), tiled by
+        the planner against the ``pass_row_budget``.  Cost accounting:
+        each row activates one AP's share of CAM switching (energy scales
+        with the row count), latency is the two-stage pipeline makespan of
+        the planner's pass list, and cycles accumulate per pass.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.ndim != 2:
+            raise ValueError("run_rows expects a (rows, seq) score matrix")
+        lengths = self._check_lengths(rows, valid_lengths)
+        start = time.perf_counter()
+        probabilities = self.cluster.execute_rows(
+            rows, valid_lengths=lengths, backend=self.engine
+        )
+        wall = time.perf_counter() - start
+        sequence_length = rows.shape[1]
+        telemetry = self.cluster.plan_telemetry(
+            rows.shape[0],
+            sequence_length,
+            self.engine,
+            wall_seconds=wall,
+            threaded_passes=self.cluster.last_threaded_passes,
+        )
+        per_head = self._cluster_cost(sequence_length).per_head
+        if telemetry.passes > 1:
+            latency = self.cluster.schedule(
+                telemetry.passes, sequence_length=sequence_length
+            ).latency_s
+        else:
+            latency = per_head.latency_s
+        result = SoftmaxResult(
+            probabilities=probabilities,
+            cost=BackendCost(
+                latency_s=latency,
+                energy_j=per_head.energy_j * rows.shape[0],
+                area_mm2=per_head.area_mm2 * self.cluster.num_heads,
+            ),
+            cycles=per_head.cycles * telemetry.passes,
+            backend=self.spec.name,
+            plan=telemetry,
+        )
+        self.telemetry.record(result)
+        return result
 
     def _run(self, scores, lengths):
         heads = self.cluster.num_heads

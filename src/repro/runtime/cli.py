@@ -11,6 +11,14 @@ Commands
     writes JSON — ``--json`` the full artifact (``Experiment.to_dict``
     wrapped with schema + config), ``--out`` the bare ``to_dict()``
     result payload.
+``repro serve [--port P] [--backend B] [--rate R ...]``
+    The softmax server: with ``--port``, serve newline-delimited JSON
+    over TCP until interrupted; without, run a seeded in-process load
+    demo and print the throughput/latency table.
+``repro bench [NAME ...] [--dir D] [--pr LABEL] [--fast] [--trend-only]``
+    Replay the pinned benchmarks' headline workloads, update the
+    committed ``BENCH_<name>.json`` trajectory files, and render each
+    benchmark's trend table.
 
 Examples
 --------
@@ -19,6 +27,8 @@ Examples
     repro list
     repro run table2 --backend vectorized --json table2.json
     repro run table3_4 --backend ap-cluster --fast
+    repro serve --rate 2000 --requests 128
+    repro bench serve --pr PR8
     repro backends
 """
 
@@ -35,6 +45,7 @@ from repro.runtime.backend import (
     backend_descriptions,
     canonical_backend_name,
 )
+from repro.runtime.bench import UnknownBenchmarkError
 from repro.runtime.registry import (
     UnknownExperimentError,
     get_experiment,
@@ -106,6 +117,118 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress the rendered table (useful with --json)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve softmax over TCP, or run an in-process load demo",
+    )
+    serve.add_argument(
+        "--backend",
+        default="ap-cluster",
+        help="softmax execution backend the server coalesces onto "
+        "(default: ap-cluster, the fused cluster path)",
+    )
+    serve.add_argument(
+        "--engine",
+        default=None,
+        help="functional AP engine (reference/vectorized/compiled)",
+    )
+    serve.add_argument(
+        "--num-heads", type=int, default=4, help="provisioned cluster heads"
+    )
+    serve.add_argument(
+        "--sequence-length",
+        type=int,
+        default=64,
+        help="provisioned capacity: the longest request the server accepts",
+    )
+    serve.add_argument(
+        "--pass-row-budget",
+        type=int,
+        default=4096,
+        help="ap-cluster planner tiling budget in rows per pass "
+        "(0 disables tiling; ignored by other backends)",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="admission latency budget: how long a tick waits for "
+        "companion requests",
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=256,
+        help="admission cap on the fused row space (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="serve newline-delimited JSON on this TCP port until "
+        "interrupted (0 picks a free port); omit for the load demo",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host")
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=2000.0,
+        help="load demo: Poisson arrival rate in requests/sec",
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=96,
+        help="load demo: number of requests in the stream",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="load demo: request-stream seed"
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="replay pinned benchmarks and update BENCH_*.json trajectories",
+    )
+    bench.add_argument(
+        "names",
+        nargs="*",
+        metavar="NAME",
+        help="benchmark names (default: all; see --list)",
+    )
+    bench.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_benches",
+        help="list the registered benchmarks and exit",
+    )
+    bench.add_argument(
+        "--dir",
+        dest="directory",
+        default=".",
+        metavar="DIR",
+        help="directory holding the BENCH_<name>.json trajectory files "
+        "(default: current directory — the repo root for committed updates)",
+    )
+    bench.add_argument(
+        "--pr",
+        default=None,
+        metavar="LABEL",
+        help="trajectory entry label (default: $REPRO_BENCH_PR or 'dev'); "
+        "re-running under the same label replaces that entry",
+    )
+    bench.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced-size workloads (the entry is marked \"fast\" so toy "
+        "numbers are never mistaken for headline measurements)",
+    )
+    bench.add_argument(
+        "--trend-only",
+        action="store_true",
+        help="render the trend tables from the existing trajectory files "
+        "without running anything",
     )
     return parser
 
@@ -199,6 +322,117 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _serve_backend_spec(args: argparse.Namespace):
+    """Build the served backend's spec from the ``repro serve`` flags."""
+    from repro.runtime.backend import BackendSpec
+
+    name = canonical_backend_name(args.backend)
+    engine = args.engine
+    if engine is not None:
+        from repro.ap.engine import canonical_engine_name
+
+        engine = canonical_engine_name(engine)
+    options: Dict[str, Any] = {}
+    if name == "ap-cluster" and args.pass_row_budget:
+        options["pass_row_budget"] = args.pass_row_budget
+    return BackendSpec(
+        name=name,
+        num_heads=args.num_heads,
+        sequence_length=args.sequence_length,
+        engine=engine,
+        options=options,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    max_batch_rows = args.max_batch_rows or None
+    if args.port is None:
+        # In-process load demo: one serve-load point at the chosen rate.
+        from repro.experiments.serve_load import (
+            render_serve_load,
+            run_serve_load,
+        )
+
+        points = run_serve_load(
+            rates=(args.rate,),
+            num_requests=args.requests,
+            backend=args.backend,
+            engine=args.engine,
+            num_heads=args.num_heads,
+            max_wait_ms=args.max_wait_ms,
+            max_batch_rows=max_batch_rows,
+            pass_row_budget=args.pass_row_budget
+            if canonical_backend_name(args.backend) == "ap-cluster"
+            else None,
+            seed=args.seed,
+        )
+        print(render_serve_load(points), file=out)
+        return 0
+
+    import asyncio
+
+    from repro.serve.server import SoftmaxServer
+
+    spec = _serve_backend_spec(args)
+
+    async def _serve_forever() -> None:
+        server = SoftmaxServer(
+            spec, max_wait_ms=args.max_wait_ms, max_batch_rows=max_batch_rows
+        )
+        async with server:
+            tcp = await server.serve_tcp(args.host, args.port)
+            host, port = tcp.sockets[0].getsockname()[:2]
+            print(
+                f"serving softmax on {host}:{port} "
+                f"(backend {spec.name}, newline-delimited JSON; "
+                f"Ctrl-C to stop)",
+                file=out,
+                flush=True,
+            )
+            async with tcp:
+                await tcp.serve_forever()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from repro.runtime.bench import (
+        bench_names,
+        get_bench,
+        iter_benches,
+        render_trend,
+        run_bench,
+    )
+    from repro.utils.trajectory import record_benchmark
+
+    if args.list_benches:
+        print(f"{'name':<14} description", file=out)
+        for spec in iter_benches():
+            print(f"{spec.name:<14} {spec.description}", file=out)
+        return 0
+    names = args.names or bench_names()
+    for name in names:
+        get_bench(name)  # validate every name before running any
+    if args.trend_only:
+        for name in names:
+            print(render_trend(name, args.directory), file=out)
+        return 0
+    for name in names:
+        result = run_bench(name, fast=args.fast)
+        print(result.rendered, file=out)
+        path = record_benchmark(
+            name, result.metrics, directory=args.directory, pr=args.pr
+        )
+        print(f"updated {path}", file=out)
+        print(render_trend(name, args.directory), file=out)
+        print(file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -208,8 +442,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_list(out)
         if args.command == "backends":
             return _cmd_backends(out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
         return _cmd_run(args, out)
-    except (UnknownExperimentError, UnknownBackendError, ValueError) as error:
+    except (
+        UnknownExperimentError,
+        UnknownBackendError,
+        UnknownBenchmarkError,
+        ValueError,
+    ) as error:
         print(f"repro: error: {error}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,63 @@
+"""Softmax-as-a-service: the async serving layer over the fused AP paths.
+
+Three modules:
+
+* :mod:`repro.serve.batching` — pure request-coalescing logic (stacking,
+  ragged padding with masked prefixes, FIFO admission sizing);
+* :mod:`repro.serve.server` — :class:`SoftmaxServer`, the asyncio request
+  server whose admission loop coalesces concurrent requests into one
+  fused head-major row space per scheduling tick (continuous batching
+  within a ``max_wait_ms`` / ``max_batch_rows`` budget), with an optional
+  newline-delimited-JSON TCP front end;
+* :mod:`repro.serve.loadgen` — seeded Poisson load generation, the
+  closed-loop driver, and the serial one-request-per-pass baseline.
+
+The serving contract: every coalesced response is **bit-identical** to
+running its request alone through the same backend.  The ``serve-load``
+experiment (:mod:`repro.experiments.serve_load`) sweeps arrival rates and
+reports throughput plus p50/p99 latency against the serial baseline.
+"""
+
+from repro.serve.batching import (
+    CoalescedBatch,
+    RequestSlice,
+    as_request_matrix,
+    coalesce,
+    split,
+    take_admissible,
+)
+from repro.serve.loadgen import (
+    LoadProfile,
+    LoadReport,
+    LoadRequest,
+    RequestOutcome,
+    drive_load,
+    run_load,
+    run_serial_baseline,
+)
+from repro.serve.server import (
+    ServeResponse,
+    ServerClosed,
+    ServerStats,
+    SoftmaxServer,
+)
+
+__all__ = [
+    "CoalescedBatch",
+    "RequestSlice",
+    "as_request_matrix",
+    "coalesce",
+    "split",
+    "take_admissible",
+    "LoadProfile",
+    "LoadReport",
+    "LoadRequest",
+    "RequestOutcome",
+    "drive_load",
+    "run_load",
+    "run_serial_baseline",
+    "ServeResponse",
+    "ServerClosed",
+    "ServerStats",
+    "SoftmaxServer",
+]

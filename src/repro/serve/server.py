@@ -1,0 +1,464 @@
+"""Softmax-as-a-service: the asyncio request server with continuous batching.
+
+:class:`SoftmaxServer` accepts concurrent softmax requests (``submit``
+coroutines, or newline-delimited JSON over TCP via :meth:`serve_tcp`) and
+serves them through **one** backend pass per scheduling tick: an admission
+loop coalesces everything queued — within a ``max_wait_ms`` latency budget
+and a ``max_batch_rows`` admission cap — into a single fused head-major
+row space (:mod:`repro.serve.batching`), executes it through the backend's
+``run_rows`` seam (for ``ap-cluster`` that is the planner's
+``pass_row_budget`` tiling and two-stage pipeline schedule), and resolves
+each request's future from its slice of the batch result.
+
+Continuous batching falls out of the loop structure: while tick ``k``
+executes on the worker thread, the event loop keeps accepting submissions,
+so tick ``k + 1`` forms from everything that arrived in the meantime — the
+batch composition adapts to the instantaneous load with no fixed batch
+boundary.
+
+Bit-identity is the serving contract: every response is **bit-identical**
+to running its request alone through the same backend (pinned by
+``tests/serve`` and ``benchmarks/test_serve_load.py``), because each
+vector's lowered program is independent of its row-space neighbours and
+masked ragged execution matches un-padded execution exactly.
+
+Per-request telemetry rides on the uniform
+:class:`~repro.runtime.backend.SoftmaxResult` shape: each response carries
+its slice of the probabilities, its energy share of the batch pass, the
+pass latency, and the batch's :class:`~repro.mapping.plan.PlanTelemetry`
+annotated with the tick's ``queue_depth``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Deque, List, Optional, Set, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.backend import (
+    BackendCost,
+    BackendSpec,
+    SoftmaxBackend,
+    SoftmaxResult,
+    resolve_backend,
+    rows_runner,
+)
+from repro.serve.batching import as_request_matrix, coalesce, split, take_admissible
+from repro.utils.validation import check_positive_int
+
+__all__ = ["ServeResponse", "ServerClosed", "ServerStats", "SoftmaxServer"]
+
+
+class ServerClosed(RuntimeError):
+    """Raised by ``submit`` when the server is (or gets) shut down."""
+
+
+@dataclass(frozen=True)
+class ServeResponse:
+    """One served request: probabilities plus serving-side telemetry.
+
+    ``result`` is the per-request :class:`SoftmaxResult` view of the batch
+    pass (sliced probabilities, pass latency, energy share, the batch's
+    plan telemetry with ``queue_depth`` set); ``queue_wait_s`` the time the
+    request sat queued before its tick executed; ``batch_requests`` /
+    ``batch_rows`` the composition of the coalesced tick that served it.
+    """
+
+    probabilities: np.ndarray
+    result: SoftmaxResult
+    queue_wait_s: float
+    batch_requests: int
+    batch_rows: int
+    tick: int
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Aggregate admission-loop counters since the server started."""
+
+    ticks: int
+    requests: int
+    rows: int
+    max_queue_depth: int
+
+    @property
+    def mean_batch_requests(self) -> float:
+        """Mean coalesced requests per scheduling tick."""
+        return self.requests / self.ticks if self.ticks else 0.0
+
+    @property
+    def mean_batch_rows(self) -> float:
+        """Mean fused row-space height per scheduling tick."""
+        return self.rows / self.ticks if self.ticks else 0.0
+
+
+class _Pending:
+    """One queued request: normalised payload + the future to resolve."""
+
+    __slots__ = ("scores", "lengths", "squeeze", "future", "enqueued")
+
+    def __init__(self, scores, lengths, squeeze, future, enqueued) -> None:
+        self.scores = scores
+        self.lengths = lengths
+        self.squeeze = squeeze  # 1-D request: give the response back 1-D
+        self.future = future
+        self.enqueued = enqueued
+
+    @property
+    def rows(self) -> int:
+        return self.scores.shape[0]
+
+
+class SoftmaxServer:
+    """Asyncio softmax server with continuous-batching admission.
+
+    Parameters
+    ----------
+    backend:
+        Anything :func:`~repro.runtime.backend.resolve_backend` accepts —
+        a backend name, a :class:`BackendSpec`, or a built backend
+        instance.  The coalesced ticks execute through the backend's
+        ``run_rows`` seam, so every runtime backend (including
+        ``ap-cluster``, whose row spaces the planner tiles against the
+        cluster's ``pass_row_budget``) can serve.
+    max_wait_ms:
+        Admission latency budget: once a tick has its first request it
+        waits at most this long for companions before executing.  Under
+        saturation the wait never triggers — the queue is already
+        non-empty when a tick forms.
+    max_batch_rows:
+        Admission cap on the fused row space's height (whole requests
+        only; an oversized request becomes a tick of its own and the
+        planner tiles it).  ``None`` admits everything queued.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, BackendSpec, SoftmaxBackend],
+        *,
+        max_wait_ms: float = 2.0,
+        max_batch_rows: Optional[int] = None,
+    ) -> None:
+        self.backend = resolve_backend(backend)
+        self._run_rows = rows_runner(self.backend)
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        self.max_wait_ms = max_wait_ms
+        if max_batch_rows is not None:
+            check_positive_int(max_batch_rows, "max_batch_rows")
+        self.max_batch_rows = max_batch_rows
+        self._queue: Optional[asyncio.Queue] = None
+        self._backlog: Deque[_Pending] = deque()
+        self._admission_task: Optional[asyncio.Task] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._ticks = 0
+        self._requests = 0
+        self._rows = 0
+        self._max_queue_depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "SoftmaxServer":
+        """Start the admission loop (idempotent; ``submit`` auto-starts)."""
+        if self._closed:
+            raise ServerClosed("server is closed")
+        if self._admission_task is None:
+            self._queue = asyncio.Queue()
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            self._admission_task = asyncio.get_running_loop().create_task(
+                self._admission_loop()
+            )
+        return self
+
+    async def close(self) -> None:
+        """Stop admitting, fail queued requests, and release the worker."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._admission_task is not None:
+            self._admission_task.cancel()
+            try:
+                await self._admission_task
+            except asyncio.CancelledError:
+                pass
+            self._admission_task = None
+        abandoned = list(self._backlog)
+        self._backlog.clear()
+        if self._queue is not None:
+            while not self._queue.empty():
+                abandoned.append(self._queue.get_nowait())
+            self._queue = None
+        for pending in abandoned:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServerClosed("server closed before the request ran")
+                )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def __aenter__(self) -> "SoftmaxServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def stats(self) -> ServerStats:
+        return ServerStats(
+            ticks=self._ticks,
+            requests=self._requests,
+            rows=self._rows,
+            max_queue_depth=self._max_queue_depth,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Submission                                                           #
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self,
+        scores: np.ndarray,
+        valid_lengths: Optional[np.ndarray] = None,
+    ) -> ServeResponse:
+        """Submit one request and await its served response.
+
+        Shape validation happens here, eagerly — a malformed request
+        raises at the call site instead of poisoning a coalesced batch.
+        """
+        if self._closed:
+            raise ServerClosed("server is closed")
+        squeeze = np.asarray(scores).ndim == 1
+        matrix, lengths = as_request_matrix(scores, valid_lengths)
+        await self.start()
+        loop = asyncio.get_running_loop()
+        pending = _Pending(matrix, lengths, squeeze, loop.create_future(), loop.time())
+        assert self._queue is not None
+        self._queue.put_nowait(pending)
+        return await pending.future
+
+    # ------------------------------------------------------------------ #
+    # Admission loop                                                       #
+    # ------------------------------------------------------------------ #
+    async def _admission_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        queue = self._queue
+        assert queue is not None
+        while True:
+            if not self._backlog:
+                self._backlog.append(await queue.get())
+            await self._gather_companions(loop, queue)
+            admitted = take_admissible(
+                [p.rows for p in self._backlog], self.max_batch_rows
+            )
+            batch = [self._backlog.popleft() for _ in range(admitted)]
+            tick_start = loop.time()
+            self._ticks += 1
+            self._requests += len(batch)
+            self._rows += sum(p.rows for p in batch)
+            self._max_queue_depth = max(self._max_queue_depth, len(batch))
+            try:
+                outcomes = await loop.run_in_executor(
+                    self._executor, self._execute_batch, batch, tick_start
+                )
+            except Exception as error:  # noqa: BLE001 — fail the whole tick
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(error)
+                continue
+            for pending, outcome in zip(batch, outcomes):
+                if pending.future.done():
+                    continue
+                if isinstance(outcome, Exception):
+                    pending.future.set_exception(outcome)
+                else:
+                    pending.future.set_result(outcome)
+
+    async def _gather_companions(self, loop, queue) -> None:
+        """Fill the backlog until the admission cap or latency budget hits.
+
+        Everything already queued is drained without waiting (the
+        continuous-batching fast path under load); only a tick that is
+        still below the cap keeps waiting, up to ``max_wait_ms`` past its
+        first request.
+        """
+        deadline = loop.time() + self.max_wait_ms / 1000.0
+        while True:
+            rows = sum(p.rows for p in self._backlog)
+            if self.max_batch_rows is not None and rows >= self.max_batch_rows:
+                return
+            try:
+                self._backlog.append(queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            try:
+                self._backlog.append(
+                    await asyncio.wait_for(queue.get(), remaining)
+                )
+            except asyncio.TimeoutError:
+                return
+
+    # ------------------------------------------------------------------ #
+    # Batch execution (worker thread)                                      #
+    # ------------------------------------------------------------------ #
+    def _execute_batch(
+        self, batch: List[_Pending], tick_start: float
+    ) -> List[Union[ServeResponse, Exception]]:
+        """Run one coalesced tick; on failure, isolate the offender.
+
+        A multi-request batch that raises falls back to per-request
+        execution so one bad request cannot fail its tick companions —
+        the healthy requests still get (standalone, hence bit-identical)
+        responses.
+        """
+        tick = self._ticks
+        try:
+            fused = coalesce([(p.scores, p.lengths) for p in batch])
+            result = self._run_rows(
+                fused.scores, valid_lengths=fused.valid_lengths
+            )
+        except Exception as error:  # noqa: BLE001
+            if len(batch) == 1:
+                return [error]
+            return [
+                self._execute_single(pending, tick, tick_start)
+                for pending in batch
+            ]
+        parts = split(fused, result.probabilities)
+        plan = (
+            None
+            if result.plan is None
+            else replace(result.plan, queue_depth=len(batch))
+        )
+        responses: List[Union[ServeResponse, Exception]] = []
+        for pending, part in zip(batch, parts):
+            share = pending.rows / fused.rows
+            cost = (
+                None
+                if result.cost is None
+                else BackendCost(
+                    latency_s=result.cost.latency_s,
+                    energy_j=result.cost.energy_j * share,
+                    area_mm2=result.cost.area_mm2,
+                )
+            )
+            responses.append(
+                ServeResponse(
+                    probabilities=part[0] if pending.squeeze else part,
+                    result=SoftmaxResult(
+                        probabilities=part[0] if pending.squeeze else part,
+                        cost=cost,
+                        cycles=result.cycles,
+                        backend=result.backend,
+                        plan=plan,
+                    ),
+                    queue_wait_s=max(0.0, tick_start - pending.enqueued),
+                    batch_requests=len(batch),
+                    batch_rows=fused.rows,
+                    tick=tick,
+                )
+            )
+        return responses
+
+    def _execute_single(
+        self, pending: _Pending, tick: int, tick_start: float
+    ) -> Union[ServeResponse, Exception]:
+        """Standalone fallback execution of one request of a failed tick."""
+        try:
+            result = self._run_rows(
+                pending.scores, valid_lengths=pending.lengths
+            )
+        except Exception as error:  # noqa: BLE001
+            return error
+        plan = (
+            None if result.plan is None else replace(result.plan, queue_depth=1)
+        )
+        probabilities = (
+            result.probabilities[0] if pending.squeeze else result.probabilities
+        )
+        return ServeResponse(
+            probabilities=probabilities,
+            result=replace(result, probabilities=probabilities, plan=plan),
+            queue_wait_s=max(0.0, tick_start - pending.enqueued),
+            batch_requests=1,
+            batch_rows=pending.rows,
+            tick=tick,
+        )
+
+    # ------------------------------------------------------------------ #
+    # TCP front end (newline-delimited JSON)                               #
+    # ------------------------------------------------------------------ #
+    async def serve_tcp(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> asyncio.AbstractServer:
+        """Expose the server over TCP as newline-delimited JSON.
+
+        Request lines are ``{"id": ..., "scores": [[...]], "valid_lengths":
+        [...]?}``; each gets one response line ``{"id": ..., "probabilities":
+        ..., "batch_requests": n, "batch_rows": r, "tick": t,
+        "queue_wait_ms": w}`` (or ``{"id": ..., "error": msg}``).  Requests
+        on one connection are handled concurrently, so a pipelining client
+        coalesces with itself.  The caller owns the returned
+        ``asyncio.Server`` (``server.sockets[0].getsockname()`` for the
+        bound port).
+        """
+        await self.start()
+        return await asyncio.start_server(self._handle_connection, host, port)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        lock = asyncio.Lock()
+        tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown
+                pass
+
+    async def _handle_line(self, line: bytes, writer, lock) -> None:
+        request_id: Any = None
+        try:
+            payload = json.loads(line)
+            request_id = payload.get("id")
+            response = await self.submit(
+                np.asarray(payload["scores"], dtype=np.float64),
+                valid_lengths=payload.get("valid_lengths"),
+            )
+            reply = {
+                "id": request_id,
+                "probabilities": response.probabilities.tolist(),
+                "batch_requests": response.batch_requests,
+                "batch_rows": response.batch_rows,
+                "tick": response.tick,
+                "queue_wait_ms": response.queue_wait_s * 1000.0,
+            }
+        except Exception as error:  # noqa: BLE001 — report, keep serving
+            reply = {"id": request_id, "error": str(error)}
+        async with lock:
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()

@@ -80,8 +80,14 @@ def record_benchmark(
     path = trajectory_path(benchmark, directory)
     payload: Dict[str, Any] = {"schema": SCHEMA, "benchmark": benchmark, "entries": []}
     if os.path.exists(path):
-        with open(path, "r", encoding="utf-8") as handle:
-            existing = json.load(handle)
+        # A malformed or unparseable existing file must not fail the
+        # benchmark that is trying to record — start a fresh trajectory
+        # (the overwrite preserves nothing salvageable anyway).
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            existing = None
         if (
             isinstance(existing, dict)
             and existing.get("schema") == SCHEMA
@@ -99,6 +105,7 @@ def record_benchmark(
         payload["entries"].append(
             {"pr": pr, "machine": machine_fingerprint(), **metrics}
         )
+    os.makedirs(directory, exist_ok=True)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=False)
         handle.write("\n")

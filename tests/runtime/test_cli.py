@@ -159,3 +159,60 @@ class TestInProcess:
     def test_malformed_set_exits_2(self, capsys):
         assert main(["run", "table1", "--set", "oops"]) == 2
         assert "KEY=VALUE" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_load_demo_prints_sweep_table(self, capsys):
+        code = main([
+            "serve", "--rate", "4000", "--requests", "24",
+            "--backend", "ap-batch", "--num-heads", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Serving sweep: backend ap-batch" in out
+        assert "identical" in out
+        assert "yes" in out
+
+    def test_unknown_backend_exits_2(self, capsys):
+        assert main(["serve", "--backend", "ap-clstr"]) == 2
+        assert "did you mean 'ap-cluster'" in capsys.readouterr().err
+
+
+class TestBenchCommand:
+    def test_list_names_every_benchmark(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("llm_speed", "llm_generate", "plan_fusion", "serve"):
+            assert name in out
+
+    def test_fast_serve_run_updates_trajectory_and_trend(self, capsys, tmp_path):
+        code = main([
+            "bench", "serve", "--fast",
+            "--dir", str(tmp_path), "--pr", "test-pr",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"updated {tmp_path / 'BENCH_serve.json'}" in out
+        assert "Trajectory: serve" in out
+        payload = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        (entry,) = payload["entries"]
+        assert entry["pr"] == "test-pr"
+        assert entry["fast"] is True  # toy numbers are labelled as such
+        assert entry["responses_identical"] is True
+
+    def test_trend_only_reads_without_running(self, capsys, tmp_path):
+        # No trajectory file yet: trend-only reports that, runs nothing.
+        assert main(["bench", "serve", "--trend-only", "--dir", str(tmp_path)]) == 0
+        assert "no trajectory file" in capsys.readouterr().out
+
+    def test_trend_renders_committed_trajectories(self, capsys):
+        # The committed repo-root files must all render as trend tables.
+        assert main(["bench", "--trend-only", "--dir", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        for name in ("llm_speed", "llm_generate", "plan_fusion", "serve"):
+            assert f"Trajectory: {name}" in out
+        assert "PR8" in out
+
+    def test_unknown_benchmark_exits_2_before_running(self, capsys):
+        assert main(["bench", "serve", "nosuch"]) == 2
+        assert "unknown benchmark 'nosuch'" in capsys.readouterr().err

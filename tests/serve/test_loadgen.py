@@ -1,0 +1,152 @@
+"""Load generator determinism + the serve-load experiment contract."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.backend import BackendSpec, resolve_backend
+from repro.runtime.registry import get_experiment
+from repro.serve.loadgen import (
+    LoadProfile,
+    run_load,
+    run_serial_baseline,
+)
+from repro.serve.server import SoftmaxServer
+
+
+class TestLoadProfile:
+    def test_same_seed_same_stream(self):
+        profile = LoadProfile(rate_rps=100.0, num_requests=12, seed=3)
+        first = profile.requests()
+        second = profile.requests()
+        for a, b in zip(first, second):
+            assert a.arrival_s == b.arrival_s
+            np.testing.assert_array_equal(a.scores, b.scores)
+            if a.valid_lengths is None:
+                assert b.valid_lengths is None
+            else:
+                np.testing.assert_array_equal(a.valid_lengths, b.valid_lengths)
+
+    def test_different_seed_differs(self):
+        base = LoadProfile(rate_rps=100.0, num_requests=6, seed=0).requests()
+        other = LoadProfile(rate_rps=100.0, num_requests=6, seed=1).requests()
+        assert any(
+            a.scores.shape != b.scores.shape
+            or not np.array_equal(a.scores, b.scores)
+            for a, b in zip(base, other)
+        )
+
+    def test_stream_respects_profile_bounds(self):
+        profile = LoadProfile(
+            rate_rps=500.0,
+            num_requests=40,
+            rows=(1, 3),
+            sequence_lengths=(8, 16),
+            ragged_fraction=1.0,
+            seed=9,
+        )
+        requests = profile.requests()
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        for request in requests:
+            rows, seq = request.scores.shape
+            assert 1 <= rows <= 3
+            assert seq in (8, 16)
+            assert request.valid_lengths is not None
+            assert np.all(request.valid_lengths >= 1)
+            assert np.all(request.valid_lengths <= seq)
+        assert profile.max_sequence_length == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            LoadProfile(rate_rps=0.0)
+        with pytest.raises(ValueError, match="rows"):
+            LoadProfile(rate_rps=1.0, rows=(3, 1))
+        with pytest.raises(ValueError, match="sequence_lengths"):
+            LoadProfile(rate_rps=1.0, sequence_lengths=())
+        with pytest.raises(ValueError, match="ragged_fraction"):
+            LoadProfile(rate_rps=1.0, ragged_fraction=1.5)
+
+
+class TestRunLoad:
+    def test_served_responses_match_serial_baseline(self):
+        spec = BackendSpec(name="float", sequence_length=16)
+        profile = LoadProfile(
+            rate_rps=2000.0,
+            num_requests=16,
+            sequence_lengths=(8, 16),
+            seed=5,
+        )
+        requests = profile.requests()
+        server = SoftmaxServer(spec, max_wait_ms=2.0, max_batch_rows=32)
+        report = run_load(server, requests)
+        serial, serial_seconds = run_serial_baseline(
+            resolve_backend(spec), requests
+        )
+        assert report.num_requests == 16
+        assert serial_seconds > 0.0
+        assert report.makespan_s > 0.0
+        assert np.all(report.latencies_ms >= 0.0)
+        assert report.p50_ms <= report.p99_ms
+        assert report.mean_batch_rows >= 1.0
+        # float backend carries no plan telemetry -> occupancy defaults to 1
+        assert report.mean_occupancy == 1.0
+        for alone, outcome in zip(serial, report.outcomes):
+            reference = (
+                alone[0] if outcome.request.scores.ndim == 1 else alone
+            )
+            np.testing.assert_array_equal(
+                outcome.response.probabilities, reference
+            )
+
+    def test_run_load_accepts_profile_directly(self):
+        server = SoftmaxServer("float", max_wait_ms=1.0)
+        report = run_load(
+            server, LoadProfile(rate_rps=5000.0, num_requests=4, seed=1)
+        )
+        assert report.num_requests == 4
+
+
+class TestServeLoadExperiment:
+    def test_fast_run_and_json_round_trip(self):
+        experiment = get_experiment("serve-load")
+        result = experiment.run(experiment.fast_config)
+        assert len(result) == 1
+        point = result[0]
+        assert point.responses_identical
+        assert point.backend == "ap-cluster"
+        assert point.throughput_rps > 0.0
+        assert point.serial_throughput_rps > 0.0
+        payload = json.loads(json.dumps(experiment.to_dict(result)))
+        rebuilt = experiment.from_dict(payload)
+        assert experiment.render(rebuilt) == experiment.render(result)
+
+    def test_rejects_budget_on_non_cluster_backend(self):
+        with pytest.raises(ValueError, match="ap-cluster knob"):
+            experiment = get_experiment("serve-load")
+            experiment.run(
+                {
+                    **experiment.fast_config,
+                    "backend": "ap-batch",
+                    "pass_row_budget": 128,
+                }
+            )
+
+    def test_cli_backend_switch(self, capsys):
+        from repro.runtime.cli import main
+
+        code = main(
+            [
+                "run",
+                "serve-load",
+                "--fast",
+                "--backend",
+                "ap-batch",
+                "--set",
+                "num_requests=8",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend ap-batch" in out

@@ -1,0 +1,104 @@
+"""record_benchmark merge semantics: append, overwrite, and recovery."""
+
+import json
+
+import pytest
+
+from repro.utils import trajectory
+from repro.utils.trajectory import (
+    SCHEMA,
+    machine_fingerprint,
+    record_benchmark,
+    trajectory_path,
+)
+
+
+def _load(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestRecordBenchmark:
+    def test_noop_without_directory(self, monkeypatch):
+        monkeypatch.delenv(trajectory.TRAJECTORY_DIR_ENV, raising=False)
+        assert record_benchmark("demo", {"metric": 1.0}) is None
+
+    def test_environment_supplies_directory_and_label(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(trajectory.TRAJECTORY_DIR_ENV, str(tmp_path))
+        monkeypatch.setenv(trajectory.PR_ENV, "PR9")
+        path = record_benchmark("demo", {"metric": 2.0})
+        assert path == trajectory_path("demo", str(tmp_path))
+        payload = _load(path)
+        assert payload["schema"] == SCHEMA
+        assert payload["benchmark"] == "demo"
+        assert payload["entries"][0]["pr"] == "PR9"
+        assert payload["entries"][0]["metric"] == 2.0
+
+    def test_missing_directory_is_created(self, tmp_path):
+        # `repro bench --dir perf/trajectory` must work without a mkdir.
+        directory = tmp_path / "perf" / "trajectory"
+        path = record_benchmark("demo", {"metric": 1.0}, str(directory))
+        assert _load(path)["entries"][0]["metric"] == 1.0
+
+    def test_distinct_labels_append(self, tmp_path):
+        record_benchmark("demo", {"metric": 1.0}, str(tmp_path), pr="PR1")
+        path = record_benchmark("demo", {"metric": 2.0}, str(tmp_path), pr="PR2")
+        entries = _load(path)["entries"]
+        assert [e["pr"] for e in entries] == ["PR1", "PR2"]
+        assert [e["metric"] for e in entries] == [1.0, 2.0]
+
+    def test_same_label_overwrites_instead_of_appending(self, tmp_path):
+        record_benchmark("demo", {"metric": 1.0}, str(tmp_path), pr="PR1")
+        path = record_benchmark("demo", {"metric": 5.0}, str(tmp_path), pr="PR1")
+        entries = _load(path)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["metric"] == 5.0
+
+    def test_same_label_merges_sibling_metrics(self, tmp_path):
+        # Two benchmark tests writing different keys to one file (the
+        # plan_fusion pattern) merge into a single per-PR entry.
+        record_benchmark("demo", {"fused": 1.0}, str(tmp_path), pr="PR1")
+        path = record_benchmark("demo", {"compiled": 2.0}, str(tmp_path), pr="PR1")
+        entries = _load(path)["entries"]
+        assert len(entries) == 1
+        assert entries[0]["fused"] == 1.0
+        assert entries[0]["compiled"] == 2.0
+
+    def test_update_refreshes_machine_fingerprint(self, tmp_path):
+        path = record_benchmark("demo", {"metric": 1.0}, str(tmp_path), pr="PR1")
+        # Simulate an entry recorded on a different machine: the stored
+        # fingerprint no longer matches this host.
+        payload = _load(path)
+        payload["entries"][0]["machine"] = {
+            "platform": "OtherOS-0.0",
+            "python": "0.0.0",
+            "numpy": "0.0",
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        record_benchmark("demo", {"metric": 2.0}, str(tmp_path), pr="PR1")
+        entry = _load(path)["entries"][0]
+        assert entry["machine"] == machine_fingerprint()
+        assert entry["metric"] == 2.0
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "not json at all {{{",
+            '"a bare string"',
+            json.dumps({"schema": "some-other-schema/v9", "entries": []}),
+            json.dumps({"schema": SCHEMA, "entries": "not-a-list"}),
+            "",
+        ],
+        ids=["unparseable", "wrong-type", "wrong-schema", "bad-entries", "empty"],
+    )
+    def test_malformed_existing_file_starts_fresh(self, tmp_path, garbage):
+        path = trajectory_path("demo", str(tmp_path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(garbage)
+        recorded = record_benchmark("demo", {"metric": 3.0}, str(tmp_path), pr="PR1")
+        assert recorded == path
+        payload = _load(path)
+        assert payload["schema"] == SCHEMA
+        assert len(payload["entries"]) == 1
+        assert payload["entries"][0]["metric"] == 3.0
