@@ -1,0 +1,57 @@
+"""Chaos benchmark: the pinned reliability floor under injected faults.
+
+The default ``chaos-load`` schedule stages a compiled-engine outage plus
+seeded tick-latency spikes against the full reliability stack (deadlines,
+retries with capped backoff, the engine-fallback chain).  Three pins, all
+asserted here and in the CI ``chaos-smoke`` job:
+
+* availability >= 0.99 on the seeded request stream;
+* every successful response bit-identical to the fault-free serial run;
+* the breaker story actually happened — at least one degrade *and* one
+  recovery in the chain's transition log.
+
+With ``REPRO_PERF_DIR`` set the full chaos report lands in
+``BENCH_chaos.json`` (the CI job uploads it as an artifact).
+"""
+
+import json
+import os
+import pathlib
+
+from repro.runtime import get_experiment
+
+#: The pinned availability floor under the default fault schedule.
+CHAOS_AVAILABILITY_FLOOR = 0.99
+
+
+def _emit_perf_artifact(experiment, rows) -> None:
+    """Write the chaos report JSON when REPRO_PERF_DIR is set."""
+    perf_dir = os.environ.get("REPRO_PERF_DIR")
+    if not perf_dir:
+        return
+    path = pathlib.Path(perf_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    payload = {"benchmark": "chaos-load", **experiment.to_dict(rows)}
+    with open(path / "BENCH_chaos.json", "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_chaos_load_availability_and_bit_identity(benchmark):
+    """Pin: the default seeded outage never costs availability or bits."""
+    experiment = get_experiment("chaos-load")
+    rows = benchmark.pedantic(experiment.run, iterations=1, rounds=1)
+    report = rows[0]
+    print()
+    print(experiment.render(rows))
+    _emit_perf_artifact(experiment, rows)
+    assert report.fault_events > 0, "the fault schedule never fired"
+    assert report.availability >= CHAOS_AVAILABILITY_FLOOR, (
+        f"availability {report.availability:.4f} under the default fault "
+        f"schedule (floor {CHAOS_AVAILABILITY_FLOOR})"
+    )
+    assert report.successes_identical, (
+        "a response served under faults diverged from the fault-free run"
+    )
+    assert report.degrades >= 1, "the breaker never degraded the chain"
+    assert report.recoveries >= 1, "the chain never recovered to primary"

@@ -51,6 +51,8 @@ from typing import Callable, Dict, List, Optional, Union
 
 import numpy as np
 
+from repro.reliability import faults
+
 __all__ = ["CompiledEngine"]
 
 #: Number of uint64 temp rows the compiled closures need beyond the
@@ -115,6 +117,9 @@ class CompiledEngine:
         return self._slot_rows
 
     def _acquire(self, words: int) -> _Arena:
+        # Reliability seam: a chaos run can fail the arena checkout the
+        # way a real allocator would under memory pressure.
+        faults.fire("arena:acquire")
         with self._pool_lock:
             for index, arena in enumerate(self._pool):
                 if arena.capacity >= words:

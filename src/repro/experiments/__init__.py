@@ -76,6 +76,12 @@ from repro.experiments.serve_load import (
     run_serve_load,
     render_serve_load,
 )
+from repro.experiments.chaos_load import (
+    ChaosLoadExperiment,
+    ChaosLoadReport,
+    run_chaos_load,
+    render_chaos_load,
+)
 
 __all__ = [
     "Fig1Experiment",
@@ -122,4 +128,8 @@ __all__ = [
     "ServeLoadPoint",
     "run_serve_load",
     "render_serve_load",
+    "ChaosLoadExperiment",
+    "ChaosLoadReport",
+    "run_chaos_load",
+    "render_chaos_load",
 ]

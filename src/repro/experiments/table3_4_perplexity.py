@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -42,6 +43,8 @@ from repro.llm.perplexity import INFERENCE_PATHS, evaluate_perplexity
 from repro.llm.trainer import Trainer
 from repro.mapping.cluster import ApCluster
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
+from repro.reliability import faults
+from repro.reliability.faults import FaultInjector
 from repro.runtime.backend import canonical_backend_name, resolve_backend
 from repro.runtime.registry import Experiment, register
 from repro.softmax.integer_softmax import IntegerSoftmax
@@ -217,6 +220,12 @@ def _init_sweep_worker(payload: Dict[str, Any]) -> None:
     # lifetime; drop the serialised snapshot from it so the weights are not
     # held twice (the rebuilt model is the only copy that matters).
     payload.pop("state")
+    injector = payload.get("fault_injector")
+    if injector is not None:
+        # Each worker replays the spec schedule from a fresh state (the
+        # injector resets on unpickling), so a seeded crash spec kills a
+        # deterministic task regardless of worker/task placement.
+        injector.activate()
     _WORKER_CONTEXT = dict(payload, model=model)
 
 
@@ -225,6 +234,9 @@ def _sweep_point_worker(precision: PrecisionConfig) -> PerplexityPoint:
     context = _WORKER_CONTEXT
     if context is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("sweep worker used without _init_sweep_worker")
+    # Reliability seam, qualified by the task's own label so a fault spec
+    # targets a configuration, not whichever process picked it up.
+    faults.fire(f"sweep:task:{precision.label()}")
     return _sweep_point(
         context["model"],
         context["tokens"],
@@ -235,6 +247,57 @@ def _sweep_point_worker(precision: PrecisionConfig) -> PerplexityPoint:
         context["max_batch"],
         context.get("engine"),
     )
+
+
+def _run_sweep_pool(
+    configurations: List[PrecisionConfig],
+    payload: Dict[str, Any],
+    workers: int,
+) -> List[PerplexityPoint]:
+    """Fan the sweep across a process pool, surviving dead workers.
+
+    A worker crash (``BrokenProcessPool``) poisons every future on its
+    pool; the affected configurations are resubmitted **once** on a fresh
+    pool with fault injection stripped, slotting the recomputed points
+    back into their original positions — same deterministic order, same
+    floats as a serial sweep.  Any other per-task exception propagates
+    unchanged, as does a crash of the retry pool itself.
+    """
+    results: List[Optional[PerplexityPoint]] = [None] * len(configurations)
+    broken: List[int] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(configurations)),
+        initializer=_init_sweep_worker,
+        initargs=(payload,),
+    ) as pool:
+        futures = [
+            pool.submit(_sweep_point_worker, config)
+            for config in configurations
+        ]
+        for index, future in enumerate(futures):
+            try:
+                results[index] = future.result()
+            except BrokenProcessPool:
+                broken.append(index)
+    if broken:
+        retry_payload = {
+            key: value
+            for key, value in payload.items()
+            if key != "fault_injector"
+        }
+        retry_payload["fault_injector"] = None
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(broken)),
+            initializer=_init_sweep_worker,
+            initargs=(retry_payload,),
+        ) as pool:
+            futures_by_index = {
+                index: pool.submit(_sweep_point_worker, configurations[index])
+                for index in broken
+            }
+            for index, future in futures_by_index.items():
+                results[index] = future.result()
+    return [point for point in results if point is not None]
 
 
 def run_perplexity_sweep(
@@ -251,6 +314,7 @@ def run_perplexity_sweep(
     max_batch: Optional[int] = None,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    fault_injector: Optional[FaultInjector] = None,
 ) -> List[PerplexityPoint]:
     """End-to-end perplexity for the precision grid (plus the FP baseline).
 
@@ -274,6 +338,13 @@ def run_perplexity_sweep(
     ``engine`` selects the functional AP engine for the AP-family backends
     (any engine-registry name — ``reference``/``vectorized``/``compiled``;
     results are pinned bit-identical across all of them).
+
+    The pool is resilient to dying workers: a ``BrokenProcessPool`` (a
+    worker crashed — OOM-killed, segfaulted, or chaos-injected via
+    ``fault_injector``, which ships to each worker's initializer) makes
+    the sweep resubmit exactly the affected configurations **once** on a
+    fresh, fault-free pool, preserving the deterministic result order and
+    identical floats; a second failure propagates.
     """
     # Validate eagerly (single authority, with a did-you-mean for typos)
     # before spending time training the reference model; only backends that
@@ -325,17 +396,9 @@ def run_perplexity_sweep(
             "inference_path": inference_path,
             "max_batch": max_batch,
             "engine": engine,
+            "fault_injector": fault_injector,
         }
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(configurations)),
-            initializer=_init_sweep_worker,
-            initargs=(payload,),
-        ) as pool:
-            futures = [
-                pool.submit(_sweep_point_worker, config)
-                for config in configurations
-            ]
-            points.extend(future.result() for future in futures)
+        points.extend(_run_sweep_pool(configurations, payload, workers))
     else:
         for config in configurations:
             points.append(

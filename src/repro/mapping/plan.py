@@ -68,6 +68,7 @@ from repro.mapping.dataflow import (
 )
 from repro.quant.precision import BEST_PRECISION, PrecisionConfig
 from repro.quant.quantizer import ClippedSoftmaxInputQuantizer
+from repro.reliability import faults
 from repro.softmax.polynomial import IExpPolynomial
 from repro.utils.bitwidth import bits_for_unsigned
 from repro.utils.validation import check_positive_int
@@ -427,6 +428,11 @@ class PlanTelemetry:
     and ``queue_depth`` how many coalesced serving requests shared this
     execution (0 outside the serving layer).  :attr:`words_total` /
     :attr:`occupancy` derive the rows-used-vs-budget report from those.
+
+    Since the reliability layer, ``retries`` / ``backoff_ms`` record how
+    many serving-side retry attempts preceded the execution that finally
+    succeeded and the total backoff slept between them (both 0 outside
+    the serving layer's retry path).
     """
 
     fused: bool
@@ -441,6 +447,8 @@ class PlanTelemetry:
     wall_seconds: float = 0.0
     row_budget: int = 0
     queue_depth: int = 0
+    retries: int = 0
+    backoff_ms: float = 0.0
 
     @property
     def words_total(self) -> int:
@@ -698,6 +706,7 @@ class ExecutionPlan:
         across every engine and to the pre-plan per-head loop.
         """
         engine = canonical_engine_name(engine) if engine is not None else self.engine
+        faults.fire(f"engine:{engine}")
         z, pad_mask, batch = self._prepare(scores, valid_lengths)
         info = engine_info(engine)
         if info.plan_executor is not None and self.packable:

@@ -1,0 +1,52 @@
+"""Reliability layer: seeded fault injection, retries, circuit breaking.
+
+Three small, dependency-free building blocks the serving stack composes:
+
+* :mod:`repro.reliability.faults` — deterministic fault injection behind
+  zero-overhead seams (``fire(site)`` is a no-op unless an injector is
+  installed);
+* :mod:`repro.reliability.retry` — per-request retry budgets with capped
+  exponential backoff + seeded jitter, and the structured
+  :class:`DeadlineExceeded` timeout;
+* :mod:`repro.reliability.breaker` — the circuit breaker and the
+  engine-fallback chain (compiled -> vectorized -> reference) with
+  half-open probing.
+
+See the README's "Reliability" section for the seam map and the
+``chaos-load`` experiment for the end-to-end pinned behaviour.
+"""
+
+from repro.reliability.breaker import (
+    BREAKER_STATES,
+    BreakerOpen,
+    BreakerTransition,
+    CircuitBreaker,
+    EngineFallbackChain,
+)
+from repro.reliability.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    fire,
+)
+from repro.reliability.retry import DeadlineExceeded, RetryPolicy
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerOpen",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "DeadlineExceeded",
+    "EngineFallbackChain",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "active_injector",
+    "fire",
+]

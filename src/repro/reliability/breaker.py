@@ -1,0 +1,258 @@
+"""Circuit breaker and the engine-fallback chain for graceful degradation.
+
+:class:`CircuitBreaker` is the classic three-state machine, kept pure and
+synchronous so it unit-tests without a server around it:
+
+* **closed** — calls flow; ``failure_threshold`` *consecutive* failures
+  trip it open.
+* **open** — calls bypass the protected resource; after
+  ``probe_interval`` bypassed calls the breaker offers one **half-open**
+  probe.
+* **half-open** — exactly one trial call: success closes the breaker,
+  failure re-opens it (and counts toward ``max_probes``; exhausting that
+  budget makes the open state permanent).
+
+:class:`EngineFallbackChain` stacks one breaker per engine of an ordered
+chain (``compiled -> vectorized -> reference`` by default).  Tripping the
+current engine's breaker degrades the chain one level; an open breaker
+above the current level is probed on schedule, and a successful probe
+recovers back up.  Because every plan engine is bit-identical by
+construction, degradation is invisible in the response bits — only in
+latency and the chain's transition log, which the ``chaos-load``
+experiment asserts on (at least one degrade *and* one recovery under the
+default fault schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BREAKER_STATES",
+    "BreakerOpen",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "EngineFallbackChain",
+]
+
+BREAKER_STATES: Tuple[str, ...] = ("closed", "open", "half-open")
+
+
+class BreakerOpen(RuntimeError):
+    """Raised when a call is attempted against an open breaker."""
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One chain transition: degrade or recovery, and at which call."""
+
+    kind: str  # "degrade" | "recover"
+    engine_from: str
+    engine_to: str
+    call: int
+
+    def __str__(self) -> str:
+        arrow = "->" if self.kind == "degrade" else "=>"
+        return f"{self.engine_from}{arrow}{self.engine_to}@{self.call}"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        probe_interval: int = 8,
+        max_probes: Optional[int] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if probe_interval < 1:
+            raise ValueError(
+                f"probe_interval must be >= 1, got {probe_interval}"
+            )
+        if max_probes is not None and max_probes < 1:
+            raise ValueError(f"max_probes must be >= 1, got {max_probes}")
+        self.failure_threshold = failure_threshold
+        self.probe_interval = probe_interval
+        self.max_probes = max_probes
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._bypassed = 0
+        self._probes = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def probes(self) -> int:
+        """Half-open probes attempted since the breaker first tripped."""
+        return self._probes
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the probe budget is spent: permanently degraded."""
+        return self.max_probes is not None and self._probes >= self.max_probes
+
+    def record_success(self) -> None:
+        """A call against the protected resource succeeded."""
+        if self._state == "half-open":
+            self._state = "closed"
+            self._probes = 0
+        self._consecutive_failures = 0
+        self._bypassed = 0
+
+    def record_failure(self) -> None:
+        """A call against the protected resource failed."""
+        if self._state == "half-open":
+            self._state = "open"
+            self._bypassed = 0
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == "closed"
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = "open"
+            self._bypassed = 0
+
+    def note_bypass(self) -> None:
+        """A call was served elsewhere while this breaker is open."""
+        if self._state == "open":
+            self._bypassed += 1
+
+    def abort_probe(self) -> None:
+        """Void an in-progress probe (the trial call never ran to a
+        verdict — e.g. a client-side validation error): back to open with
+        the probe slot refunded and the countdown left ripe, so the next
+        opportunity probes again immediately."""
+        if self._state == "half-open":
+            self._state = "open"
+            self._probes -= 1
+            self._bypassed = self.probe_interval
+
+    def should_probe(self) -> bool:
+        """Offer (and claim) the half-open probe slot when it is due."""
+        if (
+            self._state == "open"
+            and not self.exhausted
+            and self._bypassed >= self.probe_interval
+        ):
+            self._state = "half-open"
+            self._probes += 1
+            return True
+        return False
+
+
+class EngineFallbackChain:
+    """Ordered engine chain, one breaker per level above the floor.
+
+    ``next_call()`` names the engine the next execution should use — the
+    current level, or a due half-open probe of a tripped level above it.
+    The caller reports the outcome through ``on_success`` / ``on_failure``
+    with the same ``(engine, probe)`` pair, which drives degradation,
+    probing, and recovery.  All methods run on one thread at a time (the
+    server's single worker), so the chain keeps no lock.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[str],
+        failure_threshold: int = 3,
+        probe_interval: int = 8,
+        max_probes: Optional[int] = None,
+    ) -> None:
+        if not engines:
+            raise ValueError("engine chain must not be empty")
+        if len(set(engines)) != len(engines):
+            raise ValueError(f"engine chain has duplicates: {engines}")
+        self.engines: Tuple[str, ...] = tuple(engines)
+        self._breakers = [
+            CircuitBreaker(
+                failure_threshold=failure_threshold,
+                probe_interval=probe_interval,
+                max_probes=max_probes,
+            )
+            for _ in self.engines
+        ]
+        self._level = 0
+        self._calls = 0
+        self.transitions: List[BreakerTransition] = []
+
+    @property
+    def current_engine(self) -> str:
+        return self.engines[self._level]
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    @property
+    def degrades(self) -> int:
+        return sum(1 for t in self.transitions if t.kind == "degrade")
+
+    @property
+    def recoveries(self) -> int:
+        return sum(1 for t in self.transitions if t.kind == "recover")
+
+    def breaker(self, engine: str) -> CircuitBreaker:
+        return self._breakers[self.engines.index(engine)]
+
+    def state_of(self, engine: str) -> str:
+        return self.breaker(engine).state
+
+    def next_call(self) -> Tuple[str, bool]:
+        """Pick ``(engine, is_probe)`` for the next execution."""
+        self._calls += 1
+        for index in range(self._level):
+            if self._breakers[index].should_probe():
+                return self.engines[index], True
+        return self.current_engine, False
+
+    def on_success(self, engine: str, probe: bool = False) -> None:
+        index = self.engines.index(engine)
+        self._breakers[index].record_success()
+        if probe and index < self._level:
+            self.transitions.append(
+                BreakerTransition(
+                    kind="recover",
+                    engine_from=self.current_engine,
+                    engine_to=engine,
+                    call=self._calls,
+                )
+            )
+            self._level = index
+        elif index == self._level:
+            # A degraded-level success brings every tripped breaker above
+            # one call closer to its half-open probe.
+            for above in range(self._level):
+                self._breakers[above].note_bypass()
+
+    def abort_probe(self, engine: str) -> None:
+        """Void a probe whose trial call never reached a verdict."""
+        self.breaker(engine).abort_probe()
+
+    def on_failure(self, engine: str, probe: bool = False) -> None:
+        index = self.engines.index(engine)
+        breaker = self._breakers[index]
+        breaker.record_failure()
+        if probe:
+            return  # stay degraded; the open breaker re-arms its countdown
+        if (
+            index == self._level
+            and breaker.state == "open"
+            and self._level + 1 < len(self.engines)
+        ):
+            self.transitions.append(
+                BreakerTransition(
+                    kind="degrade",
+                    engine_from=engine,
+                    engine_to=self.engines[self._level + 1],
+                    call=self._calls,
+                )
+            )
+            self._level += 1

@@ -1,0 +1,254 @@
+"""Deterministic, seeded fault injection for the serving stack.
+
+The production code exposes **seams**: named call sites that invoke
+:func:`fire` with a site string (``"engine:compiled"``, ``"serve:tick"``,
+``"arena:acquire"``, ``"tcp:line"``, ``"sweep:task:<label>"``).  With no
+injector installed — the default — a seam is a single module-attribute
+read and a ``None`` check, so the serving fast path pays nothing.
+
+A chaos run builds a :class:`FaultInjector` from declarative
+:class:`FaultSpec` records and installs it process-wide::
+
+    injector = FaultInjector(
+        [FaultSpec(site="engine:compiled", kind="raise", start=10, count=8)],
+        seed=0,
+    )
+    with injector.install():
+        ...  # every matching seam may now raise / stall / crash
+
+Determinism is the whole point: each spec owns its own RNG stream
+(derived from ``(seed, spec index)``) and its own arming/budget counters,
+so the decision sequence of one spec never depends on how other specs or
+sites interleave.  Replaying the same seeded workload against the same
+specs reproduces the same fault schedule, event for event — the
+``chaos-load`` experiment leans on this to pin availability and
+bit-identity of every successful response.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "active_injector",
+    "fire",
+]
+
+#: Supported fault kinds: ``raise`` throws :class:`InjectedFault`,
+#: ``latency`` stalls the seam's thread, ``crash`` kills the process
+#: (``os._exit``) — the worker-pool death scenario.
+FAULT_KINDS: Tuple[str, ...] = ("raise", "latency", "crash")
+
+
+class InjectedFault(RuntimeError):
+    """The error a ``raise``-kind fault spec throws at its seam.
+
+    ``transient`` marks the fault as retryable — the serving layer's
+    :class:`~repro.reliability.retry.RetryPolicy` consults exactly this
+    attribute when deciding whether to back off and try again.
+    """
+
+    def __init__(self, site: str, spec: str, transient: bool = True) -> None:
+        super().__init__(f"injected fault at {site!r} (spec {spec!r})")
+        self.site = site
+        self.spec = spec
+        self.transient = transient
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: where, what, and when.
+
+    ``site`` matches a fired seam exactly or as a ``:``-separated prefix
+    (``"engine"`` matches ``"engine:compiled"``).  The first ``start``
+    matching events arm the spec without firing; after that it fires with
+    ``probability`` per event, at most ``count`` times (``None`` =
+    unlimited).
+    """
+
+    site: str
+    kind: str = "raise"
+    probability: float = 1.0
+    start: int = 0
+    count: Optional[int] = None
+    latency_ms: float = 0.0
+    transient: bool = True
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("site must be a non-empty seam name")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must lie in [0, 1], got {self.probability}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.count is not None and self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if self.latency_ms < 0:
+            raise ValueError(f"latency_ms must be >= 0, got {self.latency_ms}")
+        if self.kind == "latency" and self.latency_ms == 0:
+            raise ValueError("latency faults need latency_ms > 0")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.site}/{self.kind}")
+
+    def matches(self, site: str) -> bool:
+        return site == self.site or site.startswith(self.site + ":")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault, as recorded in the injector's replay log."""
+
+    site: str
+    spec: str
+    kind: str
+    index: int  # 1-based fire index within the spec's budget
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-spec counters + the spec's private RNG stream."""
+
+    rng: np.random.Generator
+    seen: int = 0
+    fired: int = 0
+
+
+class FaultInjector:
+    """Evaluates fault specs at fired seams, deterministically.
+
+    Thread-safe (the serving worker thread and the event loop may both hit
+    seams) and picklable (the perplexity sweep ships one to its pool
+    workers via the initializer payload); the lock is rebuilt on
+    unpickling and the counters reset, so each worker process replays the
+    spec schedule from the start.
+    """
+
+    def __init__(
+        self, specs: Sequence[FaultSpec], seed: int = 0
+    ) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self.events: List[FaultEvent] = []
+        self._states: List[_SpecState] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear counters and the event log; re-derive every RNG stream."""
+        with self._lock:
+            self.events = []
+            self._states = [
+                _SpecState(rng=np.random.default_rng([self.seed, index]))
+                for index, _ in enumerate(self.specs)
+            ]
+
+    # -- pickling: drop the lock, reset state in the child ------------- #
+    def __getstate__(self):
+        return {"specs": self.specs, "seed": self.seed}
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["specs"], seed=state["seed"])
+
+    def fired(self, spec_name: Optional[str] = None) -> int:
+        """Number of logged fault events (optionally for one spec)."""
+        with self._lock:
+            if spec_name is None:
+                return len(self.events)
+            return sum(1 for e in self.events if e.spec == spec_name)
+
+    def fire(self, site: str) -> None:
+        """Evaluate every matching spec at ``site``; act on the first hit.
+
+        ``raise`` faults throw :class:`InjectedFault`; ``latency`` faults
+        sleep the calling thread; ``crash`` faults terminate the process
+        (only meaningful inside expendable pool workers).
+        """
+        action: Optional[FaultSpec] = None
+        with self._lock:
+            for spec, state in zip(self.specs, self._states):
+                if not spec.matches(site):
+                    continue
+                state.seen += 1
+                if state.seen <= spec.start:
+                    continue
+                if spec.count is not None and state.fired >= spec.count:
+                    continue
+                if (
+                    spec.probability < 1.0
+                    and state.rng.random() >= spec.probability
+                ):
+                    continue
+                state.fired += 1
+                self.events.append(
+                    FaultEvent(
+                        site=site,
+                        spec=spec.name,
+                        kind=spec.kind,
+                        index=state.fired,
+                    )
+                )
+                action = spec
+                break
+        if action is None:
+            return
+        if action.kind == "latency":
+            time.sleep(action.latency_ms / 1000.0)
+        elif action.kind == "crash":
+            os._exit(13)
+        else:
+            raise InjectedFault(site, action.name, transient=action.transient)
+
+    def activate(self) -> None:
+        """Install process-wide with no scope to restore.
+
+        For dedicated processes that die with their injector — the
+        perplexity sweep's pool workers call this from the pool
+        initializer.  Interactive code should prefer :meth:`install`.
+        """
+        global _ACTIVE
+        _ACTIVE = self
+
+    @contextmanager
+    def install(self) -> Iterator["FaultInjector"]:
+        """Install process-wide for the duration of the ``with`` block."""
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+
+#: The installed injector (``None`` = fault injection disabled).
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def active_injector() -> Optional[FaultInjector]:
+    return _ACTIVE
+
+
+def fire(site: str) -> None:
+    """Seam entry point: no-op unless an injector is installed."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fire(site)

@@ -1,0 +1,88 @@
+"""Retry budgets, capped exponential backoff, and deadline errors.
+
+:class:`RetryPolicy` is a frozen description of how the serving layer
+treats **transient** failures (anything carrying a truthy ``transient``
+attribute, e.g. :class:`~repro.reliability.faults.InjectedFault`): up to
+``max_retries`` further attempts, separated by capped exponential backoff
+plus seeded jitter.  The jitter stream is owned by the caller (one
+``numpy`` generator per server, consumed only on the single worker
+thread), so a seeded chaos run replays the exact same backoff schedule.
+
+:class:`DeadlineExceeded` is the structured timeout: a request whose
+``deadline_ms`` elapses — still queued, or mid-retry — fails with it
+instead of waiting forever, and the TCP front end maps it to a
+``"deadline"`` error code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeadlineExceeded", "RetryPolicy"]
+
+
+class DeadlineExceeded(RuntimeError):
+    """A request's ``deadline_ms`` elapsed before it could be served."""
+
+    def __init__(self, deadline_ms: float, waited_ms: float) -> None:
+        super().__init__(
+            f"deadline of {deadline_ms:g} ms exceeded after "
+            f"{waited_ms:.1f} ms"
+        )
+        self.deadline_ms = deadline_ms
+        self.waited_ms = waited_ms
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request retry budget with capped exponential backoff.
+
+    Attempt ``k`` (0-based retry index) backs off
+    ``min(base_backoff_ms * multiplier**k, max_backoff_ms)`` plus a
+    uniform jitter in ``[0, jitter_ms)`` drawn from the caller's seeded
+    generator.  Only transient errors are retried; validation errors and
+    other permanent failures surface immediately.
+    """
+
+    max_retries: int = 3
+    base_backoff_ms: float = 1.0
+    max_backoff_ms: float = 50.0
+    multiplier: float = 2.0
+    jitter_ms: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_backoff_ms < 0:
+            raise ValueError(
+                f"base_backoff_ms must be >= 0, got {self.base_backoff_ms}"
+            )
+        if self.max_backoff_ms < self.base_backoff_ms:
+            raise ValueError(
+                "max_backoff_ms must be >= base_backoff_ms, got "
+                f"{self.max_backoff_ms} < {self.base_backoff_ms}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be >= 0, got {self.jitter_ms}")
+
+    def retryable(self, error: BaseException) -> bool:
+        """Transient errors only — permanent failures never retry."""
+        return bool(getattr(error, "transient", False))
+
+    def backoff_ms(self, retry: int, rng: np.random.Generator) -> float:
+        """Backoff before 0-based retry ``retry`` (deterministic per rng)."""
+        base = min(
+            self.base_backoff_ms * self.multiplier**retry,
+            self.max_backoff_ms,
+        )
+        if self.jitter_ms:
+            base += float(rng.random()) * self.jitter_ms
+        return base

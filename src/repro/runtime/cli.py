@@ -186,6 +186,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--seed", type=int, default=0, help="load demo: request-stream seed"
     )
+    serve.add_argument(
+        "--health",
+        action="store_true",
+        help="load demo: drive the stream through the server directly and "
+        'print the health/stats snapshot (over TCP, send {"op": "health"})',
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-request deadline; requests that expire queued get a "
+        "structured timeout instead of waiting forever",
+    )
+    serve.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry budget for transient per-request failures "
+        "(capped exponential backoff with seeded jitter)",
+    )
+    serve.add_argument(
+        "--engine-chain",
+        default=None,
+        help="comma-separated engine fallback chain with circuit breakers, "
+        "e.g. compiled,vectorized,reference (overrides --engine)",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -344,8 +370,76 @@ def _serve_backend_spec(args: argparse.Namespace):
     )
 
 
+def _serve_reliability_kwargs(args: argparse.Namespace) -> Dict[str, Any]:
+    """Reliability knobs shared by the demo and TCP serve paths."""
+    kwargs: Dict[str, Any] = {}
+    if args.deadline_ms is not None:
+        kwargs["default_deadline_ms"] = args.deadline_ms
+    if args.retries:
+        from repro.reliability.retry import RetryPolicy
+
+        kwargs["retry_policy"] = RetryPolicy(max_retries=args.retries)
+    if args.engine_chain:
+        kwargs["engine_chain"] = tuple(
+            name.strip() for name in args.engine_chain.split(",") if name.strip()
+        )
+    return kwargs
+
+
+def _render_health(health) -> str:
+    """Render a :class:`~repro.serve.server.ServerHealth` snapshot."""
+    lines = [
+        f"health: availability {health.availability:.4f} "
+        f"({health.requests_completed} ok / {health.requests_failed} failed, "
+        f"{health.deadline_expired} deadline-expired)",
+        f"  retries {health.retries} ({health.backoff_ms:.1f} ms backoff); "
+        f"engine {health.engine or 'fixed'}; breaker {health.breaker_state}",
+    ]
+    if health.transitions:
+        lines.append("  transitions: " + ", ".join(health.transitions))
+    return "\n".join(lines)
+
+
 def _cmd_serve(args: argparse.Namespace, out) -> int:
     max_batch_rows = args.max_batch_rows or None
+    reliability = _serve_reliability_kwargs(args)
+    if args.port is None and args.health:
+        # Reliability demo: drive the seeded stream through the server
+        # directly so the health snapshot can be read before close().
+        import asyncio
+
+        from repro.serve.loadgen import LoadProfile, drive_load
+        from repro.serve.server import SoftmaxServer
+
+        spec = _serve_backend_spec(args)
+        if "engine_chain" in reliability:
+            from dataclasses import replace
+
+            spec = replace(spec, engine=None)
+        server = SoftmaxServer(
+            spec,
+            max_wait_ms=args.max_wait_ms,
+            max_batch_rows=max_batch_rows,
+            **reliability,
+        )
+        profile = LoadProfile(
+            rate_rps=args.rate, num_requests=args.requests, seed=args.seed
+        )
+
+        async def _demo():
+            async with server:
+                report = await drive_load(server, profile.requests())
+                return report, server.health()
+
+        report, health = asyncio.run(_demo())
+        print(
+            f"served {report.num_requests} requests at {args.rate:g} rps: "
+            f"p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms, "
+            f"throughput {report.throughput_rps:.1f} rps",
+            file=out,
+        )
+        print(_render_health(health), file=out)
+        return 0
     if args.port is None:
         # In-process load demo: one serve-load point at the chosen rate.
         from repro.experiments.serve_load import (
@@ -375,9 +469,17 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
 
     spec = _serve_backend_spec(args)
 
+    if "engine_chain" in reliability:
+        from dataclasses import replace
+
+        spec = replace(spec, engine=None)
+
     async def _serve_forever() -> None:
         server = SoftmaxServer(
-            spec, max_wait_ms=args.max_wait_ms, max_batch_rows=max_batch_rows
+            spec,
+            max_wait_ms=args.max_wait_ms,
+            max_batch_rows=max_batch_rows,
+            **reliability,
         )
         async with server:
             tcp = await server.serve_tcp(args.host, args.port)

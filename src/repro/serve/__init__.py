@@ -38,6 +38,7 @@ from repro.serve.loadgen import (
 from repro.serve.server import (
     ServeResponse,
     ServerClosed,
+    ServerHealth,
     ServerStats,
     SoftmaxServer,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "run_serial_baseline",
     "ServeResponse",
     "ServerClosed",
+    "ServerHealth",
     "ServerStats",
     "SoftmaxServer",
 ]

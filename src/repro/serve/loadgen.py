@@ -116,11 +116,21 @@ class LoadProfile:
 
 @dataclass(frozen=True)
 class RequestOutcome:
-    """One served request's client-side measurements."""
+    """One served request's client-side measurements.
+
+    ``response`` is ``None`` when the request failed (``error`` holds the
+    exception — e.g. an exhausted retry budget or a missed deadline under
+    a chaos run); a fault-free load run has ``ok`` outcomes only.
+    """
 
     request: LoadRequest
-    response: ServeResponse
+    response: Optional[ServeResponse]
     latency_s: float
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.response is not None
 
 
 @dataclass(frozen=True)
@@ -135,12 +145,27 @@ class LoadReport:
         return len(self.outcomes)
 
     @property
+    def successes(self) -> List[RequestOutcome]:
+        """Outcomes that got a response (all of them, fault-free)."""
+        return [o for o in self.outcomes if o.ok]
+
+    @property
+    def failures(self) -> List[RequestOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the stream that got a response (1.0 fault-free)."""
+        return len(self.successes) / self.num_requests if self.outcomes else 1.0
+
+    @property
     def throughput_rps(self) -> float:
         return self.num_requests / self.makespan_s if self.makespan_s else 0.0
 
     @property
     def latencies_ms(self) -> np.ndarray:
-        return np.asarray([o.latency_s * 1000.0 for o in self.outcomes])
+        """Client-observed latencies of the *successful* requests."""
+        return np.asarray([o.latency_s * 1000.0 for o in self.successes])
 
     @property
     def p50_ms(self) -> float:
@@ -155,19 +180,24 @@ class LoadReport:
         return float(np.mean(self.latencies_ms))
 
     @property
+    def total_retries(self) -> int:
+        """Serving-side retry attempts across the successful responses."""
+        return sum(o.response.retries for o in self.successes)
+
+    @property
     def mean_batch_requests(self) -> float:
         """Mean coalesced requests per tick, weighted per request."""
         return float(
-            np.mean([o.response.batch_requests for o in self.outcomes])
+            np.mean([o.response.batch_requests for o in self.successes])
         )
 
     @property
     def max_batch_requests(self) -> int:
-        return max(o.response.batch_requests for o in self.outcomes)
+        return max(o.response.batch_requests for o in self.successes)
 
     @property
     def mean_batch_rows(self) -> float:
-        return float(np.mean([o.response.batch_rows for o in self.outcomes]))
+        return float(np.mean([o.response.batch_rows for o in self.successes]))
 
     @property
     def mean_occupancy(self) -> float:
@@ -175,7 +205,7 @@ class LoadReport:
         (1.0 when no response carried plan telemetry)."""
         values = [
             o.response.result.plan.occupancy
-            for o in self.outcomes
+            for o in self.successes
             if o.response.result.plan is not None
         ]
         return float(np.mean(values)) if values else 1.0
@@ -199,9 +229,18 @@ async def drive_load(
         if delay > 0:
             await asyncio.sleep(delay)
         sent = loop.time()
-        response = await server.submit(
-            request.scores, valid_lengths=request.valid_lengths
-        )
+        try:
+            response = await server.submit(
+                request.scores, valid_lengths=request.valid_lengths
+            )
+        except Exception as error:  # noqa: BLE001 — a chaos run's failures
+            # become per-request outcomes, not a failed load run
+            return RequestOutcome(
+                request=request,
+                response=None,
+                latency_s=loop.time() - sent,
+                error=error,
+            )
         return RequestOutcome(
             request=request, response=response, latency_s=loop.time() - sent
         )

@@ -1,0 +1,188 @@
+"""Circuit-breaker state machine and the engine-fallback chain."""
+
+import pytest
+
+from repro.reliability.breaker import (
+    BreakerTransition,
+    CircuitBreaker,
+    EngineFallbackChain,
+)
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError, match="probe_interval"):
+            CircuitBreaker(probe_interval=0)
+        with pytest.raises(ValueError, match="max_probes"):
+            CircuitBreaker(max_probes=0)
+
+    def test_consecutive_failures_trip_the_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+    def test_success_resets_the_consecutive_counter(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never two in a row
+
+    def _trip(self, **kwargs):
+        breaker = CircuitBreaker(failure_threshold=1, **kwargs)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        return breaker
+
+    def test_probe_after_interval_then_recovery(self):
+        breaker = self._trip(probe_interval=2)
+        assert not breaker.should_probe()  # countdown not elapsed
+        breaker.note_bypass()
+        breaker.note_bypass()
+        assert breaker.should_probe()
+        assert breaker.state == "half-open"
+        assert not breaker.should_probe()  # exactly one probe slot
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.probes == 0  # recovery clears the probe count
+
+    def test_probe_failure_reopens_and_rearms(self):
+        breaker = self._trip(probe_interval=1)
+        breaker.note_bypass()
+        assert breaker.should_probe()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.should_probe()  # countdown restarted
+        breaker.note_bypass()
+        assert breaker.should_probe()
+
+    def test_max_probes_makes_the_open_state_permanent(self):
+        breaker = self._trip(probe_interval=1, max_probes=2)
+        for _ in range(2):
+            breaker.note_bypass()
+            assert breaker.should_probe()
+            breaker.record_failure()
+        assert breaker.exhausted
+        breaker.note_bypass()
+        assert not breaker.should_probe()  # budget spent: degraded forever
+
+    def test_abort_probe_refunds_the_slot(self):
+        breaker = self._trip(probe_interval=3)
+        for _ in range(3):
+            breaker.note_bypass()
+        assert breaker.should_probe()
+        breaker.abort_probe()
+        assert breaker.state == "open"
+        assert breaker.probes == 0  # the trial never reached a verdict
+        assert breaker.should_probe()  # countdown left ripe
+
+
+class TestEngineFallbackChain:
+    def _chain(self, **kwargs):
+        kwargs.setdefault("failure_threshold", 2)
+        kwargs.setdefault("probe_interval", 2)
+        return EngineFallbackChain(
+            ("compiled", "vectorized", "reference"), **kwargs
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            EngineFallbackChain(())
+        with pytest.raises(ValueError, match="duplicates"):
+            EngineFallbackChain(("compiled", "compiled"))
+
+    def _degrade(self, chain):
+        for _ in range(chain.breaker("compiled").failure_threshold):
+            engine, probe = chain.next_call()
+            assert (engine, probe) == ("compiled", False)
+            chain.on_failure(engine, probe)
+
+    def test_tripping_the_primary_degrades_one_level(self):
+        chain = self._chain()
+        self._degrade(chain)
+        assert chain.current_engine == "vectorized"
+        assert chain.degrades == 1 and chain.recoveries == 0
+        assert chain.state_of("compiled") == "open"
+        assert str(chain.transitions[0]).startswith("compiled->vectorized@")
+
+    def test_successes_below_schedule_a_probe_then_recover(self):
+        chain = self._chain()
+        self._degrade(chain)
+        # Two successes on the degraded engine ripen the probe countdown.
+        for _ in range(2):
+            engine, probe = chain.next_call()
+            assert (engine, probe) == ("vectorized", False)
+            chain.on_success(engine, probe)
+        engine, probe = chain.next_call()
+        assert (engine, probe) == ("compiled", True)
+        chain.on_success(engine, probe)
+        assert chain.current_engine == "compiled"
+        assert chain.recoveries == 1
+        assert str(chain.transitions[-1]).startswith("vectorized=>compiled@")
+
+    def test_failed_probe_stays_degraded(self):
+        chain = self._chain()
+        self._degrade(chain)
+        for _ in range(2):
+            engine, probe = chain.next_call()
+            chain.on_success(engine, probe)
+        engine, probe = chain.next_call()
+        assert (engine, probe) == ("compiled", True)
+        chain.on_failure(engine, probe)
+        assert chain.current_engine == "vectorized"
+        assert chain.recoveries == 0
+        assert chain.state_of("compiled") == "open"
+
+    def test_double_degrade_reaches_the_floor(self):
+        chain = self._chain()
+        self._degrade(chain)
+        for _ in range(2):
+            engine, probe = chain.next_call()
+            if probe:  # a due compiled probe also fails during the outage
+                chain.on_failure(engine, probe)
+                engine, probe = chain.next_call()
+            assert engine == "vectorized"
+            chain.on_failure(engine, probe)
+        assert chain.current_engine == "reference"
+        assert chain.degrades == 2
+        # The floor has no level below it: failures there cannot degrade.
+        for _ in range(4):
+            engine, probe = chain.next_call()
+            if not probe:
+                chain.on_failure(engine, probe)
+        assert chain.current_engine == "reference"
+
+    def test_abort_probe_keeps_the_chain_degraded(self):
+        chain = self._chain()
+        self._degrade(chain)
+        for _ in range(2):
+            chain.on_success("vectorized", False)
+        engine, probe = chain.next_call()
+        assert (engine, probe) == ("compiled", True)
+        chain.abort_probe(engine)  # client error: no verdict on the engine
+        assert chain.current_engine == "vectorized"
+        assert chain.breaker("compiled").probes == 0
+
+    def test_max_probes_permanent_degrade(self):
+        chain = self._chain(probe_interval=1, max_probes=1)
+        self._degrade(chain)
+        chain.on_success("vectorized", False)
+        engine, probe = chain.next_call()
+        assert (engine, probe) == ("compiled", True)
+        chain.on_failure(engine, probe)
+        assert chain.breaker("compiled").exhausted
+        for _ in range(4):
+            engine, probe = chain.next_call()
+            assert (engine, probe) == ("vectorized", False)
+            chain.on_success(engine, probe)
+
+    def test_transition_render(self):
+        degrade = BreakerTransition("degrade", "compiled", "vectorized", 9)
+        recover = BreakerTransition("recover", "vectorized", "compiled", 15)
+        assert str(degrade) == "compiled->vectorized@9"
+        assert str(recover) == "vectorized=>compiled@15"

@@ -1,0 +1,215 @@
+"""Deterministic fault injection: specs, seeded replay, seam semantics."""
+
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    active_injector,
+    fire,
+)
+
+
+class TestFaultSpec:
+    def test_name_defaults_to_site_and_kind(self):
+        assert FaultSpec(site="engine:compiled").name == "engine:compiled/raise"
+        assert (
+            FaultSpec(site="serve:tick", kind="latency", latency_ms=1.0).name
+            == "serve:tick/latency"
+        )
+
+    def test_explicit_name_wins(self):
+        assert FaultSpec(site="x", name="outage").name == "outage"
+
+    def test_prefix_matching_respects_segment_boundaries(self):
+        spec = FaultSpec(site="engine")
+        assert spec.matches("engine")
+        assert spec.matches("engine:compiled")
+        assert not spec.matches("engines")
+        assert not spec.matches("eng")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="")
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(site="x", kind="explode")
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="x", probability=1.5)
+        with pytest.raises(ValueError, match="start"):
+            FaultSpec(site="x", start=-1)
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec(site="x", count=0)
+        with pytest.raises(ValueError, match="latency_ms"):
+            FaultSpec(site="x", latency_ms=-1.0)
+        with pytest.raises(ValueError, match="latency_ms > 0"):
+            FaultSpec(site="x", kind="latency")
+
+
+class TestFaultInjector:
+    def test_start_arms_then_count_bounds_the_budget(self):
+        injector = FaultInjector(
+            [FaultSpec(site="seam", start=2, count=2, name="burst")]
+        )
+        outcomes = []
+        for _ in range(6):
+            try:
+                injector.fire("seam")
+                outcomes.append("ok")
+            except InjectedFault:
+                outcomes.append("fault")
+        # Two arming events pass, the next two fire, the budget is spent.
+        assert outcomes == ["ok", "ok", "fault", "fault", "ok", "ok"]
+        assert injector.fired("burst") == 2
+        assert [e.index for e in injector.events] == [1, 2]
+
+    def test_non_matching_sites_do_not_consume_the_schedule(self):
+        injector = FaultInjector([FaultSpec(site="a", start=1, count=1)])
+        injector.fire("b")  # different seam: invisible to the spec
+        injector.fire("a")  # arming event
+        with pytest.raises(InjectedFault):
+            injector.fire("a")
+
+    def test_probability_stream_is_seeded_and_replayable(self):
+        spec = FaultSpec(site="seam", probability=0.3)
+
+        def schedule(injector):
+            fired = []
+            for index in range(40):
+                try:
+                    injector.fire("seam")
+                except InjectedFault:
+                    fired.append(index)
+            return fired
+
+        first = schedule(FaultInjector([spec], seed=7))
+        second = schedule(FaultInjector([spec], seed=7))
+        other = schedule(FaultInjector([spec], seed=8))
+        assert first == second
+        assert 0 < len(first) < 40  # probabilistic, but not degenerate
+        assert first != other
+
+    def test_reset_replays_the_same_event_log(self):
+        injector = FaultInjector(
+            [FaultSpec(site="seam", probability=0.5)], seed=3
+        )
+
+        def run():
+            for _ in range(20):
+                try:
+                    injector.fire("seam")
+                except InjectedFault:
+                    pass
+            return list(injector.events)
+
+        first = run()
+        injector.reset()
+        assert run() == first
+
+    def test_pickle_round_trip_resets_and_replays(self):
+        injector = FaultInjector(
+            [FaultSpec(site="seam", probability=0.5)], seed=3
+        )
+        for _ in range(5):
+            try:
+                injector.fire("seam")
+            except InjectedFault:
+                pass
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone.specs == injector.specs
+        assert clone.seed == injector.seed
+        assert clone.events == []  # counters reset in the child process
+        injector.reset()
+
+        def schedule(target):
+            log = []
+            for _ in range(10):
+                try:
+                    target.fire("seam")
+                except InjectedFault:
+                    pass
+            return list(target.events)
+
+        assert schedule(clone) == schedule(injector)
+
+    def test_first_matching_spec_wins(self):
+        injector = FaultInjector(
+            [
+                FaultSpec(site="seam", count=1, name="first"),
+                FaultSpec(site="seam", name="second"),
+            ]
+        )
+        with pytest.raises(InjectedFault) as first:
+            injector.fire("seam")
+        with pytest.raises(InjectedFault) as second:
+            injector.fire("seam")
+        assert first.value.spec == "first"  # budget not yet spent
+        assert second.value.spec == "second"
+
+    def test_transient_flag_travels_on_the_error(self):
+        injector = FaultInjector(
+            [FaultSpec(site="seam", transient=False, count=1)]
+        )
+        with pytest.raises(InjectedFault) as info:
+            injector.fire("seam")
+        assert info.value.transient is False
+        assert info.value.site == "seam"
+
+    def test_latency_spec_logs_without_raising(self):
+        injector = FaultInjector(
+            [FaultSpec(site="seam", kind="latency", latency_ms=0.1)]
+        )
+        injector.fire("seam")
+        assert injector.events[0].kind == "latency"
+
+
+class TestInstallation:
+    def test_module_fire_is_noop_without_injector(self):
+        assert active_injector() is None
+        fire("anything")  # must not raise
+
+    def test_install_scopes_and_restores(self):
+        outer = FaultInjector([FaultSpec(site="seam")])
+        inner = FaultInjector([])
+        with outer.install():
+            assert active_injector() is outer
+            with inner.install():
+                assert active_injector() is inner
+                fire("seam")  # inner has no specs: no-op
+            assert active_injector() is outer
+            with pytest.raises(InjectedFault):
+                fire("seam")
+        assert active_injector() is None
+
+    def test_install_restores_on_error(self):
+        injector = FaultInjector([])
+        with pytest.raises(RuntimeError, match="boom"):
+            with injector.install():
+                raise RuntimeError("boom")
+        assert active_injector() is None
+
+
+class TestCrashFault:
+    def test_crash_spec_terminates_the_process(self):
+        # os._exit cannot be observed in-process; spawn a child.
+        code = (
+            "from repro.reliability.faults import FaultInjector, FaultSpec\n"
+            "injector = FaultInjector("
+            "[FaultSpec(site='seam', kind='crash')])\n"
+            "injector.activate()\n"
+            "from repro.reliability import faults\n"
+            "faults.fire('seam')\n"
+            "print('survived')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 13
+        assert "survived" not in result.stdout

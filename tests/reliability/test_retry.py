@@ -1,0 +1,66 @@
+"""RetryPolicy backoff schedule and DeadlineExceeded structure."""
+
+import numpy as np
+import pytest
+
+from repro.reliability.faults import InjectedFault
+from repro.reliability.retry import DeadlineExceeded, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="base_backoff_ms"):
+            RetryPolicy(base_backoff_ms=-1.0)
+        with pytest.raises(ValueError, match="max_backoff_ms"):
+            RetryPolicy(base_backoff_ms=10.0, max_backoff_ms=5.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="jitter_ms"):
+            RetryPolicy(jitter_ms=-0.1)
+
+    def test_only_transient_errors_are_retryable(self):
+        policy = RetryPolicy()
+        assert policy.retryable(InjectedFault("seam", "spec"))
+        assert not policy.retryable(
+            InjectedFault("seam", "spec", transient=False)
+        )
+        assert not policy.retryable(ValueError("bad shape"))
+        assert not policy.retryable(RuntimeError("engine died"))
+
+    def test_backoff_grows_exponentially_then_caps(self):
+        policy = RetryPolicy(
+            base_backoff_ms=1.0,
+            max_backoff_ms=8.0,
+            multiplier=2.0,
+            jitter_ms=0.0,
+        )
+        rng = np.random.default_rng(0)
+        schedule = [policy.backoff_ms(k, rng) for k in range(6)]
+        assert schedule == [1.0, 2.0, 4.0, 8.0, 8.0, 8.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(
+            base_backoff_ms=1.0, multiplier=1.0, jitter_ms=0.5
+        )
+        first = [
+            policy.backoff_ms(k, np.random.default_rng(5)) for k in range(4)
+        ]
+        second = [
+            policy.backoff_ms(k, np.random.default_rng(5)) for k in range(4)
+        ]
+        assert first == second  # same generator seed, same schedule
+        assert all(1.0 <= delay < 1.5 for delay in first)
+
+
+class TestDeadlineExceeded:
+    def test_carries_structured_fields(self):
+        error = DeadlineExceeded(deadline_ms=25.0, waited_ms=31.4)
+        assert error.deadline_ms == 25.0
+        assert error.waited_ms == 31.4
+        assert "25" in str(error) and "31.4" in str(error)
+
+    def test_is_not_transient(self):
+        # A blown deadline must never be retried into a later response.
+        assert not RetryPolicy().retryable(DeadlineExceeded(1.0, 2.0))

@@ -1,0 +1,63 @@
+"""Perplexity-sweep process pool survives chaos-injected worker crashes."""
+
+import pytest
+
+from repro.experiments import run_perplexity_sweep
+from repro.experiments.table3_4_perplexity import train_reference_model
+from repro.reliability.faults import FaultInjector, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def trained():
+    return train_reference_model(seed=0, training_steps=30)
+
+
+class TestSweepCrashResilience:
+    def test_crashed_worker_configs_are_recomputed_identically(self, trained):
+        """A crash spec kills the worker that picks up one configuration;
+        the sweep resubmits the poisoned futures once on a fresh pool and
+        still returns the serial sweep's exact floats, in order."""
+        model, corpus = trained
+        kwargs = dict(
+            model=model, corpus=corpus, m_values=(6, 8), n_values=(16,),
+            include_m4=True,
+        )
+        serial = run_perplexity_sweep(**kwargs)
+        injector = FaultInjector(
+            [
+                FaultSpec(
+                    site="sweep:task:M=8, vcorr=M, N=16",
+                    kind="crash",
+                    count=1,
+                    name="worker-death",
+                )
+            ]
+        )
+        survived = run_perplexity_sweep(
+            workers=2, fault_injector=injector, **kwargs
+        )
+        assert [p.label for p in survived] == [p.label for p in serial]
+        for alone, recovered in zip(serial, survived):
+            assert alone.perplexity == recovered.perplexity  # exact floats
+            assert recovered.seconds > 0
+
+    def test_crash_in_every_worker_still_recovers(self, trained):
+        """A prefix crash spec kills *each* worker's first task (the
+        injector replays from fresh state per process): the whole first
+        pool dies and every configuration is recomputed on the retry
+        pool."""
+        model, corpus = trained
+        kwargs = dict(
+            model=model, corpus=corpus, m_values=(6,), n_values=(16,),
+            include_m4=True,
+        )
+        serial = run_perplexity_sweep(**kwargs)
+        injector = FaultInjector(
+            [FaultSpec(site="sweep:task", kind="crash", name="rampage")]
+        )
+        survived = run_perplexity_sweep(
+            workers=2, fault_injector=injector, **kwargs
+        )
+        assert [p.label for p in survived] == [p.label for p in serial]
+        for alone, recovered in zip(serial, survived):
+            assert alone.perplexity == recovered.perplexity
